@@ -1,0 +1,80 @@
+//! Per-method compression benchmarks (the building blocks of Table 2's
+//! method rows): each benchmark applies one strategy — structural surgery
+//! plus its (re-)training — to a small pre-trained ResNet.
+
+use automc_compress::{apply_strategy, ExecConfig, StrategySpec};
+use automc_data::{DatasetSpec, ImageSet, SyntheticKind};
+use automc_models::surgery::Criterion;
+use automc_models::train::{train, AuxKind, Auxiliary, TrainConfig};
+use automc_models::{resnet, ConvNet};
+use automc_tensor::rng_from_seed;
+use criterion::{criterion_group, criterion_main, Criterion as Crit};
+use std::hint::black_box;
+
+fn fixture() -> (ConvNet, ImageSet) {
+    let mut rng = rng_from_seed(10);
+    let (train_set, _) = DatasetSpec {
+        train: 96,
+        test: 0,
+        noise: 0.25,
+        ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+    }
+    .generate();
+    let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+    train(
+        &mut net,
+        &train_set,
+        &TrainConfig { epochs: 1.0, ..Default::default() },
+        Auxiliary::None,
+        &mut rng,
+    );
+    (net, train_set)
+}
+
+fn bench_methods(c: &mut Crit) {
+    let (net, data) = fixture();
+    let exec = ExecConfig { pretrain_epochs: 1.0, ..Default::default() };
+    let specs: Vec<(&str, StrategySpec)> = vec![
+        ("lma", StrategySpec::Lma { ft_epochs: 0.5, ratio: 0.2, temperature: 3.0, alpha: 0.5 }),
+        (
+            "legr",
+            StrategySpec::Legr {
+                ft_epochs: 0.5,
+                ratio: 0.2,
+                max_prune: 0.9,
+                evo_epochs: 0.5,
+                criterion: Criterion::L2Weight,
+            },
+        ),
+        ("ns", StrategySpec::Ns { ft_epochs: 0.5, ratio: 0.2, max_prune: 0.9 }),
+        ("sfp", StrategySpec::Sfp { ratio: 0.2, bp_epochs: 0.5, update_freq: 1 }),
+        (
+            "hos",
+            StrategySpec::Hos {
+                ft_epochs: 0.5,
+                ratio: 0.2,
+                global: 1,
+                criterion: Criterion::K34,
+                opt_epochs: 0.5,
+                mse_factor: 1.0,
+            },
+        ),
+        ("lfb", StrategySpec::Lfb { ft_epochs: 0.5, ratio: 0.2, aux_factor: 1.0, aux_loss: AuxKind::Mse }),
+    ];
+    let mut group = c.benchmark_group("apply_strategy");
+    group.sample_size(10);
+    for (name, spec) in specs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(11);
+                let mut model = net.clone_net();
+                apply_strategy(black_box(&spec), &mut model, &data, &exec, &mut rng);
+                black_box(model.param_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(methods, bench_methods);
+criterion_main!(methods);

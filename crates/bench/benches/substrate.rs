@@ -1,0 +1,60 @@
+//! Microbenchmarks of the substrate the experiments stand on: tensor
+//! kernels, layer passes, and full-model forward/backward.
+
+use automc_models::resnet;
+use automc_tensor::nn::{Conv2d, Layer};
+use automc_tensor::{matmul, rng_from_seed, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = rng_from_seed(1);
+    let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bch| {
+        bch.iter(|| black_box(matmul(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut rng = rng_from_seed(2);
+    let mut conv = Conv2d::new(8, 16, 3, 3, 1, 1, false, &mut rng);
+    let x = Tensor::randn(&[8, 8, 8, 8], 1.0, &mut rng);
+    c.bench_function("conv3x3_8c16_fwd", |bch| {
+        bch.iter(|| black_box(conv.forward(black_box(&x), true)))
+    });
+    let y = conv.forward(&x, true);
+    let g = Tensor::ones(y.dims());
+    c.bench_function("conv3x3_8c16_bwd", |bch| {
+        bch.iter(|| black_box(conv.backward(black_box(&g))))
+    });
+}
+
+fn bench_resnet_pass(c: &mut Criterion) {
+    let mut rng = rng_from_seed(3);
+    let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+    let x = Tensor::randn(&[16, 3, 8, 8], 1.0, &mut rng);
+    c.bench_function("resnet20_batch16_fwd", |bch| {
+        bch.iter(|| black_box(net.forward(black_box(&x), true)))
+    });
+    let y = net.forward(&x, true);
+    let g = Tensor::ones(y.dims());
+    c.bench_function("resnet20_batch16_bwd", |bch| {
+        bch.iter(|| black_box(net.backward(black_box(&g))))
+    });
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut rng = rng_from_seed(4);
+    let a = Tensor::randn(&[32, 72], 1.0, &mut rng);
+    c.bench_function("truncated_svd_32x72_r8", |bch| {
+        bch.iter(|| black_box(automc_tensor::linalg::truncated_svd(black_box(&a), 8)))
+    });
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul, bench_conv_forward_backward, bench_resnet_pass, bench_svd
+}
+criterion_main!(substrate);

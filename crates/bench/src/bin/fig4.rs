@@ -1,0 +1,43 @@
+//! Reproduce **Figure 4**: for each AutoML algorithm on Exp1/Exp2, the
+//! best-feasible-accuracy-vs-search-budget curve and the final Pareto
+//! front on `[PR, Acc]`. Reuses Table 2's cached searches.
+//!
+//! Run: `cargo run --release -p automc-bench --bin fig4 [--seed N] [--fresh]`
+
+use automc_bench::harness::{automc_embeddings, run_search, Algo};
+use automc_bench::report::{render_front, render_series};
+use automc_bench::scale::{exp1, exp2, prepare_task};
+use automc_compress::StrategySpace;
+
+fn main() {
+    let (seed, fresh) = automc_bench::parse_args();
+    println!("Figure 4 reproduction (seed {seed})");
+    let space = StrategySpace::full();
+    for exp in [exp1(), exp2()] {
+        println!("\n### {} ###", exp.name);
+        let task = prepare_task(&exp, seed);
+        let emb = automc_embeddings(&space, "full", seed, false, true, true);
+        for algo in Algo::ALL {
+            let history = run_search(algo, &task, &space, Some(&emb), seed, fresh, exp.name);
+            let curve = history.best_acc_curve(exp.gamma);
+            // Thin the curve to ≤ 30 points for readability.
+            let step = (curve.len() / 30).max(1);
+            let thin: Vec<(u64, f32)> = curve
+                .iter()
+                .step_by(step)
+                .chain(curve.last().into_iter())
+                .copied()
+                .collect();
+            print!("{}", render_series(&format!("{} best-accuracy curve", algo.name()), &thin));
+            let front: Vec<(f32, f32)> = history
+                .pareto_indices(exp.gamma)
+                .into_iter()
+                .map(|i| {
+                    let r = &history.records[i];
+                    (r.pr * 100.0, r.acc * 100.0)
+                })
+                .collect();
+            print!("{}", render_front(algo.name(), &front));
+        }
+    }
+}

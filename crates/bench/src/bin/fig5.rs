@@ -1,0 +1,96 @@
+//! Reproduce **Figure 5**: Pareto fronts of the four AutoMC ablations
+//! against full AutoMC on Exp1/Exp2.
+//!
+//! * `AutoMC-KG` — drop the knowledge-graph embedding (random init,
+//!   experience refinement only);
+//! * `AutoMC-NNexp` — drop the experience refinement (pure TransR);
+//! * `AutoMC-MultipleSource` — restrict the space to LeGR strategies;
+//! * `AutoMC-ProgressiveSearch` — replace the progressive search with the
+//!   RL controller (identical budget/space).
+//!
+//! Run: `cargo run --release -p automc-bench --bin fig5 [--seed N] [--fresh]`
+
+use automc_bench::harness::{automc_embeddings, run_search, Algo};
+use automc_bench::report::render_front;
+use automc_bench::scale::{exp1, exp2, prepare_task};
+use automc_bench::{cache, parse_args};
+use automc_compress::{MethodId, StrategySpace};
+use automc_core::{progressive_search, AutoMcConfig, SearchBudget, SearchContext, SearchHistory};
+use automc_tensor::rng_from_seed;
+
+fn front_of(history: &SearchHistory, gamma: f32) -> Vec<(f32, f32)> {
+    history
+        .pareto_indices(gamma)
+        .into_iter()
+        .map(|i| {
+            let r = &history.records[i];
+            (r.pr * 100.0, r.acc * 100.0)
+        })
+        .collect()
+}
+
+fn main() {
+    let (seed, fresh) = parse_args();
+    println!("Figure 5 reproduction (seed {seed})");
+    let full_space = StrategySpace::full();
+    let legr_space = StrategySpace::for_methods(&[MethodId::Legr]);
+
+    // Exp1 by default; pass --both to add Exp2 (its ablation searches are
+    // the most expensive runs in the whole reproduction).
+    let both = std::env::args().any(|a| a == "--both");
+    let exps = if both { vec![exp1(), exp2()] } else { vec![exp1()] };
+    for exp in exps {
+        println!("\n### {} ###", exp.name);
+        let task = prepare_task(&exp, seed);
+
+        let run_variant = |label: &str,
+                           space: &StrategySpace,
+                           space_tag: &str,
+                           use_kg: bool,
+                           use_exp: bool,
+                           fresh: bool|
+         -> SearchHistory {
+            let key = format!("fig5_{}_{}_s{seed}", exp.name, label);
+            cache::load_or(&key, fresh, || {
+                eprintln!("[fig5] running {label} on {}…", exp.name);
+                let emb = automc_embeddings(space, space_tag, seed, false, use_kg, use_exp);
+                let mut rng = rng_from_seed(seed ^ label.len() as u64);
+                let mut probe = task.base_model.clone_net();
+                let base_metrics = automc_compress::Metrics {
+                    acc: automc_models::train::evaluate(&mut probe, &task.search_eval),
+                    ..task.base_metrics
+                };
+                let ctx = SearchContext {
+                    space,
+                    base_model: &task.base_model,
+                    base_metrics,
+                    search_train: &task.search_sample,
+                    eval_set: &task.search_eval,
+                    exec: task.exec,
+                    max_len: 5,
+                    gamma: exp.gamma,
+                    budget: SearchBudget::new(exp.budget_units),
+                };
+                progressive_search(&ctx, emb, &AutoMcConfig::default(), &mut rng)
+            })
+        };
+
+        // Full AutoMC — reuse the Table 2 run.
+        let emb = automc_embeddings(&full_space, "full", seed, false, true, true);
+        let automc = run_search(Algo::AutoMc, &task, &full_space, Some(&emb), seed, false, exp.name);
+        print!("{}", render_front("AutoMC", &front_of(&automc, exp.gamma)));
+
+        let no_kg = run_variant("nokg", &full_space, "full", false, true, fresh);
+        print!("{}", render_front("AutoMC-KG", &front_of(&no_kg, exp.gamma)));
+
+        let no_exp = run_variant("noexp", &full_space, "full", true, false, fresh);
+        print!("{}", render_front("AutoMC-NNexp", &front_of(&no_exp, exp.gamma)));
+
+        let single = run_variant("single", &legr_space, "legr", true, true, fresh);
+        print!("{}", render_front("AutoMC-MultipleSource", &front_of(&single, exp.gamma)));
+
+        // Non-progressive variant = the RL controller on the same problem.
+        let rl = run_search(Algo::Rl, &task, &full_space, None, seed, false, exp.name);
+        print!("{}", render_front("AutoMC-ProgressiveSearch", &front_of(&rl, exp.gamma)));
+    }
+}

@@ -1,0 +1,35 @@
+//! Reproduce **Figure 6**: pretty-print the best compression schemes
+//! AutoMC searched on Exp1/Exp2 (strategy sequences with their
+//! hyperparameter settings). Reuses Table 2's cached searches.
+//!
+//! Run: `cargo run --release -p automc-bench --bin fig6 [--seed N]`
+
+use automc_bench::harness::{automc_embeddings, best_scheme_in_band, run_search, Algo};
+use automc_bench::scale::{exp1, exp2, prepare_task};
+use automc_compress::StrategySpace;
+
+fn main() {
+    let (seed, _) = automc_bench::parse_args();
+    println!("Figure 6 reproduction (seed {seed}) — AutoMC's searched schemes\n");
+    let space = StrategySpace::full();
+    for exp in [exp1(), exp2()] {
+        let task = prepare_task(&exp, seed);
+        let emb = automc_embeddings(&space, "full", seed, false, true, true);
+        let history = run_search(Algo::AutoMc, &task, &space, Some(&emb), seed, false, exp.name);
+        println!("### {} ({}) ###", exp.name, exp.model);
+        for (band, lo, hi) in [("PR≈40%", exp.gamma, 0.55f32), ("PR≈70%", 0.55, 0.90)] {
+            match best_scheme_in_band(&history, lo, hi) {
+                Some(scheme) => {
+                    println!("  best scheme in {band} band:");
+                    for (step, &sid) in scheme.iter().enumerate() {
+                        println!("    step {}: {}", step + 1, space.spec(sid));
+                    }
+                }
+                None => println!("  best scheme in {band} band: (none found)"),
+            }
+        }
+        // The paper adds make-up fine-tuning at the end of each sequence so
+        // total fine-tuning epochs are comparable across schemes.
+        println!("  (+ make-up fine-tuning appended at execution time)\n");
+    }
+}

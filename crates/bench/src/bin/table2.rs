@@ -1,0 +1,24 @@
+//! Reproduce **Table 2**: compression results of ResNet-56 on the
+//! CIFAR-10 stand-in and VGG-16 on the CIFAR-100 stand-in, at the
+//! PR ≈ 40% and PR ≈ 70% bands, for the six human-designed methods and
+//! the four AutoML algorithms.
+//!
+//! Run: `cargo run --release -p automc-bench --bin table2 [--seed N] [--fresh]`
+
+use automc_bench::harness::table2_rows;
+use automc_bench::report::render_rows;
+use automc_bench::scale::{exp1, exp2};
+
+fn main() {
+    let (seed, fresh) = automc_bench::parse_args();
+    println!("Table 2 reproduction (seed {seed})");
+    for exp in [exp1(), exp2()] {
+        let label = match exp.name {
+            "exp1" => "ResNet-56 on CIFAR-10-like",
+            _ => "VGG-16 on CIFAR-100-like",
+        };
+        let (band40, band70) = table2_rows(&exp, seed, fresh);
+        println!("{}", render_rows(&format!("{label} — PR ≈ 40%"), &band40));
+        println!("{}", render_rows(&format!("{label} — PR ≈ 70%"), &band70));
+    }
+}

@@ -1,0 +1,93 @@
+//! Reproduce **Table 3**: the transfer study. Schemes searched on
+//! ResNet-56 / VGG-16 are re-executed on ResNet-20/164 and VGG-13/19
+//! (target pruning rate 40%); the human-designed methods run directly on
+//! every model. Output format matches the paper: `PR(%) / FR(%) / Acc(%)`.
+//!
+//! Reuses Table 2's cached searches when available.
+//!
+//! Run: `cargo run --release -p automc-bench --bin table3 [--seed N] [--fresh]`
+
+use automc_bench::harness::{
+    automc_embeddings, best_scheme_in_band, final_row, method_row_quick, run_search, Algo,
+    FinalRow,
+};
+use automc_bench::scale::{exp1, exp2, prepare_task, prepare_task_for_model, transfer_targets};
+use automc_bench::{cache, parse_args};
+use automc_compress::{MethodId, StrategySpace};
+use automc_models::ModelKind;
+
+fn model_label(kind: ModelKind, exp_name: &str) -> String {
+    let data = if exp_name == "exp1" { "CIFAR-10-like" } else { "CIFAR-100-like" };
+    format!("{kind} on {data}")
+}
+
+fn main() {
+    let (seed, fresh) = parse_args();
+    println!("Table 3 reproduction (seed {seed}) — target pruning rate 40%");
+    println!("cells: PR(%) / FR(%) / Acc(%)\n");
+    let space = StrategySpace::full();
+
+    for exp in [exp1(), exp2()] {
+        let emb = automc_embeddings(&space, "full", seed, false, true, true);
+        let source_task = prepare_task(&exp, seed);
+        // All model targets: the transfer pair plus the source itself.
+        let mut targets = vec![exp.model];
+        targets.extend(transfer_targets(&exp));
+        targets.sort_by_key(|k| match k {
+            ModelKind::ResNet(d) | ModelKind::Vgg(d) => *d,
+        });
+
+        // Searched schemes per algorithm (from the source-model search).
+        let schemes: Vec<(String, Option<automc_compress::Scheme>)> = Algo::ALL
+            .iter()
+            .map(|&algo| {
+                let history =
+                    run_search(algo, &source_task, &space, Some(&emb), seed, false, exp.name);
+                (algo.name().to_string(), best_scheme_in_band(&history, exp.gamma, 0.55))
+            })
+            .collect();
+
+        for target in targets {
+            let key = format!("table3_{}_{}_s{seed}", exp.name, target).replace(['-', ' '], "_");
+            let rows: Vec<FinalRow> = if let Some(rows) = (!fresh)
+                .then(|| cache::load::<Vec<FinalRow>>(&key))
+                .flatten()
+            {
+                eprintln!("[cache] reusing {key}");
+                rows
+            } else {
+                let mut task = prepare_task_for_model(&exp, target, seed);
+                let mut rows = Vec::new();
+                for method in MethodId::ALL {
+                    eprintln!("[table3] {} on {target}…", method.name());
+                    rows.push(method_row_quick(&mut task, method, 0.4, seed));
+                }
+                for (name, scheme) in &schemes {
+                    match scheme {
+                        Some(s) => {
+                            eprintln!("[table3] transferring {name}'s scheme to {target}…");
+                            rows.push(final_row(name, s, &task, &space, seed));
+                        }
+                        None => rows.push(FinalRow {
+                            algorithm: format!("{name} (no feasible scheme)"),
+                            params: 0,
+                            pr: 0.0,
+                            flops: 0,
+                            fr: 0.0,
+                            acc: 0.0,
+                            inc: 0.0,
+                            scheme: None,
+                        }),
+                    }
+                }
+                cache::store(&key, &rows);
+                rows
+            };
+            println!("== {} ==", model_label(target, exp.name));
+            for r in &rows {
+                println!("{:<28} {:>6.2} / {:>6.2} / {:>6.2}", r.algorithm, r.pr, r.fr, r.acc);
+            }
+            println!();
+        }
+    }
+}

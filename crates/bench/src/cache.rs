@@ -1,0 +1,90 @@
+//! JSON result cache shared by the reproduction binaries.
+//!
+//! Searches are the expensive part of the pipeline; Table 3 and Figures
+//! 4/6 reuse Table 2's searches through this cache. Files live under
+//! `target/automc-results/` and are plain JSON — inspectable and
+//! hand-deletable.
+
+use serde::{de::DeserializeOwned, Serialize};
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory holding the cache files.
+pub fn cache_dir() -> PathBuf {
+    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    PathBuf::from(base).join("automc-results")
+}
+
+/// Path of a cache entry.
+pub fn cache_path(key: &str) -> PathBuf {
+    cache_dir().join(format!("{key}.json"))
+}
+
+/// Load a cached value, if present and parseable.
+pub fn load<T: DeserializeOwned>(key: &str) -> Option<T> {
+    let text = fs::read_to_string(cache_path(key)).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Store a value (best-effort: cache failures only warn).
+pub fn store<T: Serialize>(key: &str, value: &T) {
+    let dir = cache_dir();
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create cache dir {dir:?}: {e}");
+        return;
+    }
+    match serde_json::to_string_pretty(value) {
+        Ok(text) => {
+            if let Err(e) = fs::write(cache_path(key), text) {
+                eprintln!("warning: cannot write cache entry {key}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise cache entry {key}: {e}"),
+    }
+}
+
+/// Load from cache unless `fresh`, else compute and store.
+pub fn load_or<T: Serialize + DeserializeOwned>(
+    key: &str,
+    fresh: bool,
+    compute: impl FnOnce() -> T,
+) -> T {
+    if !fresh {
+        if let Some(v) = load(key) {
+            eprintln!("[cache] reusing {key}");
+            return v;
+        }
+    }
+    let v = compute();
+    store(key, &v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_load_or() {
+        let key = "unit-test-entry";
+        store(key, &vec![1u32, 2, 3]);
+        let back: Option<Vec<u32>> = load(key);
+        assert_eq!(back, Some(vec![1, 2, 3]));
+        let mut computed = false;
+        let v: Vec<u32> = load_or(key, false, || {
+            computed = true;
+            vec![9]
+        });
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(!computed, "cache hit must skip compute");
+        let v: Vec<u32> = load_or(key, true, || vec![9]);
+        assert_eq!(v, vec![9], "--fresh recomputes");
+        let _ = std::fs::remove_file(cache_path(key));
+    }
+
+    #[test]
+    fn missing_entry_is_none() {
+        let v: Option<Vec<u32>> = load("definitely-not-present");
+        assert!(v.is_none());
+    }
+}

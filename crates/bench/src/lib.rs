@@ -1,0 +1,48 @@
+//! # automc-bench
+//!
+//! Reproduction harness for every table and figure in the AutoMC paper's
+//! evaluation section. One binary per artifact:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `table2` | Table 2 — compression results on Exp1/Exp2 at PR ≈ 40/70 |
+//! | `table3` | Table 3 — transfer study across model depths |
+//! | `fig4`   | Figure 4 — accuracy-vs-budget curves + Pareto fronts |
+//! | `fig5`   | Figure 5 — ablation Pareto fronts |
+//! | `fig6`   | Figure 6 — the searched schemes, pretty-printed |
+//!
+//! Binaries share a JSON result cache under `target/automc-results/` so
+//! the expensive searches run once (Table 3 and Figs 4/6 reuse Table 2's
+//! runs). Pass `--seed N` to any binary to change the master seed;
+//! `--fresh` ignores the cache.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod harness;
+pub mod report;
+pub mod scale;
+
+/// Parse `--seed N` / `--fresh` from argv (tiny flag parser shared by the
+/// reproduction binaries).
+pub fn parse_args() -> (u64, bool) {
+    let mut seed = 42u64;
+    let mut fresh = false;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    seed = v;
+                    i += 1;
+                }
+            }
+            "--fresh" => fresh = true,
+            other => eprintln!("ignoring unknown argument {other}"),
+        }
+        i += 1;
+    }
+    (seed, fresh)
+}

@@ -1,0 +1,75 @@
+//! Plain-text table/series rendering for the reproduction binaries.
+
+use crate::harness::FinalRow;
+
+/// Render a Table 2/3-style block.
+pub fn render_rows(title: &str, rows: &[FinalRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<28} {:>9} {:>8} {:>12} {:>8} {:>8} {:>8}\n",
+        "Algorithm", "Params", "PR(%)", "FLOPs", "FR(%)", "Acc(%)", "Inc(%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>9} {:>8.2} {:>12} {:>8.2} {:>8.2} {:>8.2}\n",
+            r.algorithm, r.params, r.pr, r.flops, r.fr, r.acc, r.inc
+        ));
+    }
+    out
+}
+
+/// Render an `(x, y)` series as CSV-ish lines (Fig. 4/5 output format).
+pub fn render_series(title: &str, series: &[(u64, f32)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n-- {title} (cost_units, best_acc) --\n"));
+    for (x, y) in series {
+        out.push_str(&format!("{x}, {:.4}\n", y));
+    }
+    out
+}
+
+/// Render Pareto-front points `(PR%, Acc%)`.
+pub fn render_front(title: &str, points: &[(f32, f32)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n-- {title} Pareto front (PR%, Acc%) --\n"));
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (pr, acc) in sorted {
+        out.push_str(&format!("{:.2}, {:.2}\n", pr, acc));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_all_fields() {
+        let rows = vec![FinalRow {
+            algorithm: "AutoMC".into(),
+            params: 1234,
+            pr: 39.17,
+            flops: 5678,
+            fr: 31.61,
+            acc: 92.61,
+            inc: 1.73,
+            scheme: Some(vec![1, 2]),
+        }];
+        let text = render_rows("Exp1", &rows);
+        assert!(text.contains("AutoMC"));
+        assert!(text.contains("39.17"));
+        assert!(text.contains("92.61"));
+    }
+
+    #[test]
+    fn series_and_front_render() {
+        let s = render_series("AutoMC", &[(10, 0.8), (20, 0.9)]);
+        assert!(s.contains("10, 0.8000"));
+        let f = render_front("AutoMC", &[(40.0, 92.0), (30.0, 93.0)]);
+        let i30 = f.find("30.00").unwrap();
+        let i40 = f.find("40.00").unwrap();
+        assert!(i30 < i40, "front sorted by PR");
+    }
+}

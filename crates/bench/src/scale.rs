@@ -1,0 +1,192 @@
+//! Experiment scales: the repro-scale counterparts of the paper's Exp1
+//! (ResNet-56 on CIFAR-10) and Exp2 (VGG-16 on CIFAR-100), plus the
+//! transfer targets of Table 3.
+
+use automc_compress::{ExecConfig, Metrics};
+use automc_data::{DatasetSpec, ImageSet, SyntheticKind};
+use automc_models::train::{train, Auxiliary, TrainConfig};
+use automc_models::{resnet, vgg, ConvNet, ModelKind};
+use automc_tensor::{rng_from_seed, Rng};
+
+/// One experiment's scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Name for reporting/caching ("exp1" / "exp2").
+    pub name: &'static str,
+    /// Dataset stand-in.
+    pub kind: SyntheticKind,
+    /// Model family and depth.
+    pub model: ModelKind,
+    /// Base width of the model.
+    pub width: usize,
+    /// Training-set size.
+    pub train: usize,
+    /// Test-set size.
+    pub test: usize,
+    /// Dataset noise level.
+    pub noise: f32,
+    /// Pre-training epochs `E₀`.
+    pub pretrain_epochs: f32,
+    /// Target parameter-reduction rate γ.
+    pub gamma: f32,
+    /// Search budget (cost units) per AutoML algorithm.
+    pub budget_units: u64,
+    /// Fraction of the training data used during search (paper: 10%).
+    pub sample_frac: f32,
+}
+
+/// Exp1: ResNet-56 on the CIFAR-10 stand-in, γ = 0.3.
+pub fn exp1() -> ExperimentScale {
+    ExperimentScale {
+        name: "exp1",
+        kind: SyntheticKind::Cifar10Like,
+        model: ModelKind::ResNet(56),
+        width: 4,
+        train: 800,
+        test: 400,
+        noise: 0.25,
+        pretrain_epochs: 10.0,
+        gamma: 0.3,
+        budget_units: 100_000,
+        sample_frac: 0.1,
+    }
+}
+
+/// Exp2: VGG-16 on the CIFAR-100 stand-in, γ = 0.3.
+pub fn exp2() -> ExperimentScale {
+    ExperimentScale {
+        name: "exp2",
+        kind: SyntheticKind::Cifar100Like,
+        model: ModelKind::Vgg(16),
+        width: 8,
+        train: 3000,
+        test: 500,
+        noise: 0.2,
+        pretrain_epochs: 12.0,
+        gamma: 0.3,
+        budget_units: 150_000,
+        sample_frac: 0.1,
+    }
+}
+
+/// Transfer targets of Table 3 for an experiment's family.
+pub fn transfer_targets(exp: &ExperimentScale) -> Vec<ModelKind> {
+    match exp.model {
+        ModelKind::ResNet(_) => vec![ModelKind::ResNet(20), ModelKind::ResNet(164)],
+        ModelKind::Vgg(_) => vec![ModelKind::Vgg(13), ModelKind::Vgg(19)],
+    }
+}
+
+/// A fully prepared task: data splits, pre-trained model, base metrics.
+pub struct PreparedTask {
+    /// Scale this task instantiates.
+    pub scale: ExperimentScale,
+    /// Pre-trained base model `M`.
+    pub base_model: ConvNet,
+    /// Full training split.
+    pub train_set: ImageSet,
+    /// Held-out test split.
+    pub test_set: ImageSet,
+    /// The 10% search sample.
+    pub search_sample: ImageSet,
+    /// Small held-out subset used for `A(M)` *during* search (keeps the
+    /// evaluation overhead proportionate at repro scale; final rows always
+    /// use the full test split).
+    pub search_eval: ImageSet,
+    /// `P/F/A` of the base model on the test split.
+    pub base_metrics: Metrics,
+    /// Execution config at this scale.
+    pub exec: ExecConfig,
+}
+
+/// Build a model of `kind` at this scale's width/classes.
+pub fn build_model(exp: &ExperimentScale, kind: ModelKind, rng: &mut Rng) -> ConvNet {
+    let classes = exp.kind.classes();
+    match kind {
+        ModelKind::ResNet(d) => resnet(d, exp.width, classes, (3, 8, 8), rng),
+        ModelKind::Vgg(d) => vgg(d, exp.width, classes, (3, 8, 8), rng),
+    }
+}
+
+/// Generate data, build and pre-train the base model, carve the search
+/// sample. Deterministic in `seed`.
+pub fn prepare_task(exp: &ExperimentScale, seed: u64) -> PreparedTask {
+    prepare_task_for_model(exp, exp.model, seed)
+}
+
+/// Same as [`prepare_task`] but for an alternate model (transfer targets).
+pub fn prepare_task_for_model(
+    exp: &ExperimentScale,
+    model_kind: ModelKind,
+    seed: u64,
+) -> PreparedTask {
+    let mut rng = rng_from_seed(seed ^ 0xA0_70_4C);
+    let (train_set, test_set) = DatasetSpec {
+        train: exp.train,
+        test: exp.test,
+        noise: exp.noise,
+        ..DatasetSpec::new(exp.kind)
+    }
+    .generate();
+    let mut base_model = build_model(exp, model_kind, &mut rng);
+    train(
+        &mut base_model,
+        &train_set,
+        &TrainConfig { epochs: exp.pretrain_epochs, ..Default::default() },
+        Auxiliary::None,
+        &mut rng,
+    );
+    let base_metrics = Metrics::measure(&mut base_model, &test_set);
+    let search_sample = train_set.sample_fraction(exp.sample_frac, &mut rng);
+    let search_eval = test_set.subset(&(0..128.min(test_set.len())).collect::<Vec<_>>());
+    PreparedTask {
+        scale: *exp,
+        base_model,
+        train_set,
+        test_set,
+        search_sample,
+        search_eval,
+        base_metrics,
+        exec: ExecConfig { pretrain_epochs: exp.pretrain_epochs, ..Default::default() },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_consistent() {
+        let e1 = exp1();
+        assert_eq!(e1.kind.classes(), 10);
+        assert!(matches!(e1.model, ModelKind::ResNet(56)));
+        let e2 = exp2();
+        assert_eq!(e2.kind.classes(), 100);
+        assert!(matches!(e2.model, ModelKind::Vgg(16)));
+    }
+
+    #[test]
+    fn transfer_targets_match_family() {
+        assert_eq!(
+            transfer_targets(&exp1()),
+            vec![ModelKind::ResNet(20), ModelKind::ResNet(164)]
+        );
+        assert_eq!(transfer_targets(&exp2()), vec![ModelKind::Vgg(13), ModelKind::Vgg(19)]);
+    }
+
+    #[test]
+    fn prepared_task_is_deterministic_and_sampled() {
+        // Shrunk copy of exp1 to keep the test quick.
+        let small = ExperimentScale {
+            train: 100,
+            test: 50,
+            pretrain_epochs: 1.0,
+            ..exp1()
+        };
+        let a = prepare_task(&small, 7);
+        let b = prepare_task(&small, 7);
+        assert_eq!(a.base_metrics.params, b.base_metrics.params);
+        assert!((a.base_metrics.acc - b.base_metrics.acc).abs() < 1e-6);
+        assert_eq!(a.search_sample.len(), 10, "10% of 100");
+    }
+}

@@ -1,0 +1,97 @@
+//! C5 — HOS: filter pruning by higher-order statistics plus low-rank
+//! kernel approximation (Chatzikonstantinou et al.).
+//!
+//! Two structural phases followed by reconstruction training:
+//! 1. **Prune** filters ranked by a higher-order statistic of their weight
+//!    distribution (HP12: `l1norm` / `k34` / `skew_kur`), combined across
+//!    layers by the global scheme HP11 (`P1` per-layer normalised, `P2` raw
+//!    global pool, `P3` cost-weighted pool). This phase takes 60% of the
+//!    HP2 parameter budget.
+//! 2. **Factorise** the remaining full kernels (HOOI-style low-rank
+//!    approximation — here an exact truncated SVD of the matricised
+//!    kernel, see `DESIGN.md`) to shed the remaining 40%.
+//! 3. **Optimise** for `HP13 × E₀` epochs with an auxiliary MSE
+//!    reconstruction loss against the pre-compression teacher (factor
+//!    HP14), then plain fine-tuning for `HP1 × E₀` epochs (TE3).
+
+use super::{rank, train_cost, ExecConfig};
+use crate::scheme::EvalCost;
+use automc_data::ImageSet;
+use automc_models::surgery::{
+    global_prune_by_scores, per_channel_cost, prunable_sites, site_scores, Criterion,
+};
+use automc_models::train::{train, Auxiliary, AuxKind};
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+/// Fraction of the parameter budget assigned to the pruning phase (the
+/// rest goes to factorisation).
+const PRUNE_SHARE: f32 = 0.6;
+
+#[allow(clippy::too_many_arguments)]
+pub fn apply(
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    ft_epochs: f32,
+    ratio: f32,
+    global: usize,
+    criterion: Criterion,
+    opt_epochs: f32,
+    mse_factor: f32,
+    rng: &mut Rng,
+) -> EvalCost {
+    let mut teacher = model.clone_net();
+    let before = model.param_count();
+
+    // Phase 1 — HOS-ranked pruning.
+    let sites = prunable_sites(model);
+    let scores: Vec<Vec<f32>> = sites
+        .iter()
+        .map(|&s| {
+            let raw = site_scores(model, s, criterion);
+            match global {
+                // P1: per-layer max-normalised (uniform pressure).
+                0 => {
+                    let max = raw.iter().cloned().fold(f32::MIN, f32::max).max(1e-12);
+                    raw.iter().map(|v| v / max).collect()
+                }
+                // P2: raw global pool.
+                1 => raw,
+                // P3: cost-weighted — cheap channels are pruned last.
+                _ => {
+                    let cost = per_channel_cost(model, s).max(1) as f32;
+                    raw.iter().map(|v| v / cost).collect()
+                }
+            }
+        })
+        .collect();
+    global_prune_by_scores(model, &sites, &scores, ratio * PRUNE_SHARE, 0.9);
+
+    // Phase 2 — low-rank kernel approximation for the remaining budget.
+    let after_prune = model.param_count();
+    let remaining_target =
+        ((before as f32 * ratio) as usize).saturating_sub(before - after_prune);
+    if remaining_target > 0 {
+        let fsites = rank::factor_sites(model);
+        if !fsites.is_empty() {
+            let (_, ranks) = rank::choose_rank_fraction(&fsites, remaining_target);
+            rank::factorize_sites(model, &fsites, &ranks);
+        }
+    }
+
+    // Phase 3 — reconstruction optimisation, then fine-tuning.
+    let opt = cfg.epochs(opt_epochs);
+    train(
+        model,
+        train_set,
+        &cfg.train_cfg(opt),
+        Auxiliary::LogitsMatch { teacher: &mut teacher, factor: mse_factor, kind: AuxKind::Mse },
+        rng,
+    );
+    let ft = cfg.epochs(ft_epochs);
+    train(model, train_set, &cfg.train_cfg(ft), Auxiliary::None, rng);
+    let mut cost = train_cost(train_set, opt + ft);
+    cost.eval_images += (opt * train_set.len() as f32).ceil() as u64; // teacher passes
+    cost
+}

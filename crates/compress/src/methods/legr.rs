@@ -1,0 +1,126 @@
+//! C2 — LeGR: filter pruning via a learned global ranking (Chin et al.).
+//!
+//! LeGR learns per-layer affine transforms `(α_l, κ_l)` of a base filter
+//! score so that a *global* threshold prunes well. The transforms are
+//! evolved: each generation mutates the population, prunes a throwaway
+//! copy of the network with each candidate's transformed scores, and uses
+//! held-out accuracy (no fine-tuning) as fitness. The best transform then
+//! prunes the real network, followed by fine-tuning (TE3).
+
+use super::{train_cost, ExecConfig};
+use crate::scheme::EvalCost;
+use automc_data::ImageSet;
+use automc_models::surgery::{
+    global_prune_by_scores, prunable_sites, site_scores, Criterion,
+};
+use automc_models::train::{evaluate, train, Auxiliary};
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+use rand::Rng as _;
+
+/// One individual: per-site `(α, κ)`.
+#[derive(Clone)]
+struct Affine {
+    alpha: Vec<f32>,
+    kappa: Vec<f32>,
+}
+
+impl Affine {
+    fn identity(n: usize) -> Self {
+        Affine { alpha: vec![1.0; n], kappa: vec![0.0; n] }
+    }
+
+    fn mutate(&self, std: f32, rng: &mut Rng) -> Self {
+        let jitter = |v: &f32, rng: &mut Rng| {
+            let u1: f32 = 1.0 - rng.gen::<f32>();
+            let u2: f32 = rng.gen();
+            let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            v + std * n
+        };
+        Affine {
+            alpha: self.alpha.iter().map(|a| jitter(a, rng).max(0.01)).collect(),
+            kappa: self.kappa.iter().map(|k| jitter(k, rng)).collect(),
+        }
+    }
+
+    fn transform(&self, base: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        base.iter()
+            .enumerate()
+            .map(|(s, scores)| {
+                scores.iter().map(|&v| self.alpha[s] * v + self.kappa[s]).collect()
+            })
+            .collect()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub fn apply(
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    ft_epochs: f32,
+    ratio: f32,
+    max_prune: f32,
+    evo_epochs: f32,
+    criterion: Criterion,
+    rng: &mut Rng,
+) -> EvalCost {
+    let sites = prunable_sites(model);
+    let base: Vec<Vec<f32>> = sites
+        .iter()
+        .map(|&s| {
+            // Per-site max-normalised scores so the affine transform works
+            // on comparable ranges across layers.
+            let raw = site_scores(model, s, criterion);
+            let max = raw.iter().cloned().fold(f32::MIN, f32::max).max(1e-12);
+            raw.iter().map(|v| v / max).collect()
+        })
+        .collect();
+
+    // Fitness-evaluation subset (held-in: the search sample is small).
+    let eval_n = cfg.legr_eval_images.min(train_set.len());
+    let eval_idxs: Vec<usize> = (0..eval_n).collect();
+    let eval_set = train_set.subset(&eval_idxs);
+
+    let generations = (cfg.epochs(evo_epochs).round() as usize).max(1);
+    let pop_size = cfg.legr_population.max(2);
+    let mut population: Vec<Affine> = vec![Affine::identity(sites.len())];
+    while population.len() < pop_size {
+        population.push(population[0].mutate(0.3, rng));
+    }
+    let mut eval_images = 0u64;
+    let mut best: (f32, Affine) = (f32::MIN, population[0].clone());
+    for _gen in 0..generations {
+        let mut scored: Vec<(f32, Affine)> = Vec::with_capacity(population.len());
+        for ind in &population {
+            let mut probe = model.clone_net();
+            let transformed = ind.transform(&base);
+            global_prune_by_scores(&mut probe, &sites, &transformed, ratio, max_prune);
+            let acc = evaluate(&mut probe, &eval_set);
+            eval_images += eval_set.len() as u64;
+            scored.push((acc, ind.clone()));
+        }
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        if scored[0].0 > best.0 {
+            best = scored[0].clone();
+        }
+        // Elitism + mutation of the top half.
+        let survivors: Vec<Affine> =
+            scored.iter().take(pop_size.div_ceil(2)).map(|(_, a)| a.clone()).collect();
+        population = survivors.clone();
+        let mut i = 0;
+        while population.len() < pop_size {
+            population.push(survivors[i % survivors.len()].mutate(0.2, rng));
+            i += 1;
+        }
+    }
+
+    // Final prune with the best learned ranking, then fine-tune.
+    let transformed = best.1.transform(&base);
+    global_prune_by_scores(model, &sites, &transformed, ratio, max_prune);
+    let epochs = cfg.epochs(ft_epochs);
+    train(model, train_set, &cfg.train_cfg(epochs), Auxiliary::None, rng);
+    let mut cost = train_cost(train_set, epochs);
+    cost.eval_images += eval_images;
+    cost
+}

@@ -1,0 +1,182 @@
+//! C6 — LFB: learning a shared low-rank filter basis (Li et al.).
+//!
+//! Convolutions with identical kernel signatures `(in_c, out_c, k, stride)`
+//! are grouped; each group learns *one shared spatial basis* (from the SVD
+//! of the stacked member kernels) while every member keeps private mixing
+//! coefficients. Shared bases are *tied* during fine-tuning — gradients
+//! are summed across members and the weights stay identical, and the
+//! parameter counter counts each basis once. Fine-tuning uses the
+//! auxiliary loss HP16 (NLL / CE / MSE) against the pre-compression
+//! teacher, weighted by HP15.
+
+use super::{rank, train_cost, ExecConfig};
+use crate::scheme::EvalCost;
+use automc_data::ImageSet;
+use automc_models::train::{train, Auxiliary, AuxKind};
+use automc_models::{ConvKernel, ConvNet};
+use automc_tensor::{linalg, Rng, Tensor};
+
+#[allow(clippy::too_many_arguments)]
+pub fn apply(
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    ft_epochs: f32,
+    ratio: f32,
+    aux_factor: f32,
+    aux_loss: AuxKind,
+    rng: &mut Rng,
+) -> EvalCost {
+    let mut teacher = model.clone_net();
+    let before = model.param_count();
+    let target = (before as f32 * ratio) as usize;
+
+    // Group factorisation candidates by kernel signature.
+    let fsites = rank::factor_sites(model);
+    let mut signatures: Vec<(usize, usize)> = Vec::new(); // (width, out_c) per site
+    let mut sig_of_site: Vec<usize> = Vec::new();
+    {
+        // Collect signatures in visit order (width identifies in_c·k²).
+        for s in &fsites {
+            let sig = (s.width, 0usize); // group by kernel-matrix width only
+            let idx = match signatures.iter().position(|&x| x.0 == sig.0) {
+                Some(i) => i,
+                None => {
+                    signatures.push(sig);
+                    signatures.len() - 1
+                }
+            };
+            sig_of_site.push(idx);
+        }
+    }
+
+    // Choose a shared-basis rank per group via binary search on a common
+    // fraction of the group's max rank.
+    let group_sites: Vec<Vec<usize>> = (0..signatures.len())
+        .map(|g| {
+            (0..fsites.len()).filter(|&i| sig_of_site[i] == g).collect::<Vec<_>>()
+        })
+        .collect();
+    // The shared basis conv runs once *per member*, so FLOPs shrink only
+    // when the basis rank stays below each member's own break-even point;
+    // parameters shrink when it is below the group break-even. Cap at the
+    // tighter of the two.
+    let group_max_rank = |members: &[usize]| -> usize {
+        let width = fsites[members[0]].width;
+        let total_oc: usize = members.iter().map(|&i| fsites[i].out_c).sum();
+        let min_oc = members.iter().map(|&i| fsites[i].out_c).min().unwrap_or(1);
+        let params_neutral = (total_oc * width) as f32 / (total_oc + width) as f32;
+        let flops_neutral = (min_oc * width) as f32 / (min_oc + width) as f32;
+        ((params_neutral.min(flops_neutral) * 0.75).floor() as usize).max(1)
+    };
+    let saving_at = |rho: f32| -> i64 {
+        group_sites
+            .iter()
+            .map(|members| {
+                if members.is_empty() {
+                    return 0;
+                }
+                let width = fsites[members[0]].width;
+                let total_oc: usize = members.iter().map(|&i| fsites[i].out_c).sum();
+                let max_rank = group_max_rank(members);
+                let b = ((max_rank as f32 * rho).floor() as usize).clamp(1, max_rank);
+                let full: i64 = members.iter().map(|&i| (fsites[i].out_c * width) as i64).sum();
+                let fact = (b * width) as i64 + (total_oc * b) as i64;
+                (full - fact).max(0)
+            })
+            .sum()
+    };
+    let group_saving_at_cap = |members: &[usize]| -> i64 {
+        let width = fsites[members[0]].width;
+        let total_oc: usize = members.iter().map(|&i| fsites[i].out_c).sum();
+        let b = group_max_rank(members);
+        let full: i64 = members.iter().map(|&i| (fsites[i].out_c * width) as i64).sum();
+        (full - (b * width + total_oc * b) as i64).max(0)
+    };
+    // When the gentlest basis (cap rank everywhere) over-saves, share a
+    // basis in only a subset of groups — greedy, biggest savers first.
+    let mut selected: Vec<bool> = group_sites.iter().map(|m| !m.is_empty()).collect();
+    let rho;
+    if saving_at(1.0) >= target as i64 {
+        rho = 1.0;
+        selected.iter_mut().for_each(|s| *s = false);
+        let mut order: Vec<usize> = (0..group_sites.len())
+            .filter(|&g| !group_sites[g].is_empty())
+            .collect();
+        order.sort_by_key(|&g| -group_saving_at_cap(&group_sites[g]));
+        let mut saved = 0i64;
+        for g in order {
+            if saved >= target as i64 {
+                break;
+            }
+            selected[g] = true;
+            saved += group_saving_at_cap(&group_sites[g]);
+        }
+    } else {
+        let (mut lo, mut hi) = (0.02f32, 1.0f32);
+        for _ in 0..24 {
+            let mid = 0.5 * (lo + hi);
+            if saving_at(mid) >= target as i64 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        rho = lo;
+    }
+
+    // Build and install each selected group's shared basis.
+    for (g, members) in group_sites.iter().enumerate() {
+        if members.is_empty() || !selected[g] {
+            continue;
+        }
+        let width = fsites[members[0]].width;
+        let total_oc: usize = members.iter().map(|&i| fsites[i].out_c).sum();
+        let max_rank = group_max_rank(members);
+        let b = ((max_rank as f32 * rho).floor() as usize).clamp(1, max_rank);
+        // Skip groups where the basis would not save parameters.
+        let full: i64 = members.iter().map(|&i| (fsites[i].out_c * width) as i64).sum();
+        if (b * width + total_oc * b) as i64 >= full {
+            continue;
+        }
+        // Stack member kernels and take the top-b right singular vectors.
+        let visit_ids: Vec<usize> = members.iter().map(|&i| fsites[i].visit_idx).collect();
+        let mut stacked = Vec::with_capacity(total_oc * width);
+        let mut visit = 0usize;
+        model.for_each_cbr(|_, cbr| {
+            if visit_ids.contains(&visit) {
+                if let ConvKernel::Full(c) = &cbr.kernel {
+                    stacked.extend_from_slice(c.weight.data());
+                }
+            }
+            visit += 1;
+        });
+        if stacked.len() != total_oc * width {
+            continue; // a member was already factored — leave the group alone
+        }
+        let stacked = Tensor::from_slice(&[total_oc, width], &stacked);
+        let (_, _, vt) = linalg::truncated_svd(&stacked, b);
+        // Install: same basis, private coefficients, one tie group.
+        let group_id = model.alloc_tie_group();
+        let mut visit = 0usize;
+        model.for_each_cbr_mut(|_, cbr| {
+            if visit_ids.contains(&visit) {
+                cbr.factorize_onto_basis(&vt, Some(group_id));
+            }
+            visit += 1;
+        });
+    }
+
+    // Fine-tune with the auxiliary objective.
+    let epochs = cfg.epochs(ft_epochs);
+    train(
+        model,
+        train_set,
+        &cfg.train_cfg(epochs),
+        Auxiliary::LogitsMatch { teacher: &mut teacher, factor: aux_factor, kind: aux_loss },
+        rng,
+    );
+    let mut cost = train_cost(train_set, epochs);
+    cost.eval_images += (epochs * train_set.len() as f32).ceil() as u64;
+    cost
+}

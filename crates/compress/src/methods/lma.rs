@@ -1,0 +1,52 @@
+//! C1 — LMA: knowledge distillation into a thinner student (Xu et al.).
+//!
+//! Fidelity note: the original LMA distils through a *light multi-segment
+//! activation* that approximates the teacher's soft targets piecewise-
+//! linearly. At repro scale we implement the distillation objective it
+//! feeds — temperature-softened KL blended with CE (HP4 temperature, HP5
+//! alpha) — with the student obtained by global L2-ranked thinning of the
+//! current model. The compression/recovery dynamics (thin → distil →
+//! recover) are the behaviour the search interacts with.
+
+use super::{train_cost, ExecConfig};
+use crate::scheme::EvalCost;
+use automc_data::ImageSet;
+use automc_models::surgery::{global_prune_by_scores, prunable_sites, site_scores, Criterion};
+use automc_models::train::{train, Auxiliary};
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+#[allow(clippy::too_many_arguments)]
+pub fn apply(
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    ft_epochs: f32,
+    ratio: f32,
+    temperature: f32,
+    alpha: f32,
+    rng: &mut Rng,
+) -> EvalCost {
+    let mut teacher = model.clone_net();
+    // Thin the student: global L2-ranked channel removal to shed `ratio`
+    // of the current parameters.
+    let sites = prunable_sites(model);
+    let scores: Vec<Vec<f32>> = sites
+        .iter()
+        .map(|&s| site_scores(model, s, Criterion::L2Weight))
+        .collect();
+    global_prune_by_scores(model, &sites, &scores, ratio, 0.9);
+    // Distil the teacher into the thinned student.
+    let epochs = cfg.epochs(ft_epochs);
+    train(
+        model,
+        train_set,
+        &cfg.train_cfg(epochs),
+        Auxiliary::Distill { teacher: &mut teacher, temperature, alpha },
+        rng,
+    );
+    // Teacher forwards cost roughly one inference pass per training pass.
+    let mut cost = train_cost(train_set, epochs);
+    cost.eval_images += (epochs * train_set.len() as f32).ceil() as u64;
+    cost
+}

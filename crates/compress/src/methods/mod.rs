@@ -1,0 +1,118 @@
+//! The six compression-method implementations.
+
+mod hos;
+mod legr;
+mod lfb;
+mod lma;
+mod ns;
+mod sfp;
+
+pub(crate) mod rank;
+
+use crate::scheme::EvalCost;
+use crate::space::StrategySpec;
+use automc_data::ImageSet;
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+/// Execution-scale configuration shared by every method.
+///
+/// `pretrain_epochs` is `E₀` — Table 1's `*n` hyperparameters are
+/// multiples of it. The remaining fields are the training-loop knobs of
+/// the repro scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecConfig {
+    /// Pre-training epochs `E₀` of the original model.
+    pub pretrain_epochs: f32,
+    /// Mini-batch size for all (re-)training.
+    pub batch_size: usize,
+    /// Learning rate for all (re-)training.
+    pub lr: f32,
+    /// LeGR population size.
+    pub legr_population: usize,
+    /// Images used for LeGR's inner fitness evaluations.
+    pub legr_eval_images: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            pretrain_epochs: 10.0,
+            batch_size: 32,
+            lr: 0.05,
+            legr_population: 4,
+            legr_eval_images: 128,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Convert a Table 1 `*n` multiplier into concrete epochs.
+    pub fn epochs(&self, multiplier: f32) -> f32 {
+        (multiplier * self.pretrain_epochs).max(0.1)
+    }
+
+    /// Base training config at this scale.
+    pub(crate) fn train_cfg(&self, epochs: f32) -> automc_models::train::TrainConfig {
+        automc_models::train::TrainConfig {
+            epochs,
+            batch_size: self.batch_size,
+            lr: self.lr,
+            ..automc_models::train::TrainConfig::default()
+        }
+    }
+}
+
+/// Apply one compression strategy to `model` in place.
+///
+/// `train_set` is the data available to the strategy (the 10% sample during
+/// search, the full split for final evaluations). Returns the simulated
+/// cost spent (the budget currency that keeps search-strategy comparisons
+/// fair).
+pub fn apply_strategy(
+    spec: &StrategySpec,
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    rng: &mut Rng,
+) -> EvalCost {
+    match spec {
+        StrategySpec::Lma { ft_epochs, ratio, temperature, alpha } => {
+            lma::apply(model, train_set, cfg, *ft_epochs, *ratio, *temperature, *alpha, rng)
+        }
+        StrategySpec::Legr { ft_epochs, ratio, max_prune, evo_epochs, criterion } => legr::apply(
+            model, train_set, cfg, *ft_epochs, *ratio, *max_prune, *evo_epochs, *criterion, rng,
+        ),
+        StrategySpec::Ns { ft_epochs, ratio, max_prune } => {
+            ns::apply(model, train_set, cfg, *ft_epochs, *ratio, *max_prune, rng)
+        }
+        StrategySpec::Sfp { ratio, bp_epochs, update_freq } => {
+            sfp::apply(model, train_set, cfg, *ratio, *bp_epochs, *update_freq, rng)
+        }
+        StrategySpec::Hos { ft_epochs, ratio, global, criterion, opt_epochs, mse_factor } => {
+            hos::apply(
+                model,
+                train_set,
+                cfg,
+                *ft_epochs,
+                *ratio,
+                *global,
+                *criterion,
+                *opt_epochs,
+                *mse_factor,
+                rng,
+            )
+        }
+        StrategySpec::Lfb { ft_epochs, ratio, aux_factor, aux_loss } => {
+            lfb::apply(model, train_set, cfg, *ft_epochs, *ratio, *aux_factor, *aux_loss, rng)
+        }
+    }
+}
+
+/// Cost of training `epochs` over `set` — the common budget bookkeeping.
+pub(crate) fn train_cost(set: &ImageSet, epochs: f32) -> EvalCost {
+    EvalCost {
+        trained_images: (epochs * set.len() as f32).ceil() as u64,
+        eval_images: 0,
+    }
+}

@@ -1,0 +1,45 @@
+//! C3 — NS: network slimming (Liu et al.).
+//!
+//! Sparsity-train with an L1 penalty on batch-norm scaling factors γ
+//! (TE4), prune the channels with the smallest |γ| globally, then
+//! fine-tune (TE3). The HP1 budget is split evenly between the sparsity
+//! phase and the recovery phase.
+
+use super::{train_cost, ExecConfig};
+use crate::scheme::EvalCost;
+use automc_data::ImageSet;
+use automc_models::surgery::{
+    global_prune_by_scores, prunable_sites, site_scores, Criterion,
+};
+use automc_models::train::{train, Auxiliary, TrainConfig};
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+/// Strength of the γ L1 regulariser during the sparsity phase.
+const GAMMA_L1: f32 = 0.02;
+
+pub fn apply(
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    ft_epochs: f32,
+    ratio: f32,
+    max_prune: f32,
+    rng: &mut Rng,
+) -> EvalCost {
+    let total = cfg.epochs(ft_epochs);
+    let half = (total * 0.5).max(0.1);
+    // Phase 1: sparsity training.
+    let sparsity_cfg = TrainConfig { bn_gamma_l1: GAMMA_L1, ..cfg.train_cfg(half) };
+    train(model, train_set, &sparsity_cfg, Auxiliary::None, rng);
+    // Phase 2: global γ-ranked channel pruning.
+    let sites = prunable_sites(model);
+    let scores: Vec<Vec<f32>> = sites
+        .iter()
+        .map(|&s| site_scores(model, s, Criterion::L2BnParam))
+        .collect();
+    global_prune_by_scores(model, &sites, &scores, ratio, max_prune);
+    // Phase 3: fine-tune.
+    train(model, train_set, &cfg.train_cfg(half), Auxiliary::None, rng);
+    train_cost(train_set, total)
+}

@@ -1,0 +1,209 @@
+//! Rank selection for the low-rank methods: turn a parameter-reduction
+//! target into per-conv factorisation ranks by binary search over a common
+//! rank fraction.
+
+use automc_models::{CbrRole, ConvKernel, ConvNet};
+
+/// A factorisation candidate: a full-kernel conv unit worth factoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactorSite {
+    /// Order index in `for_each_cbr` traversal.
+    pub visit_idx: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel-matrix width (`in_c·kh·kw`).
+    pub width: usize,
+}
+
+/// Enumerate factorisation candidates: full kernels with spatial extent
+/// (width > out channels matters less than having something to gain).
+pub fn factor_sites(net: &ConvNet) -> Vec<FactorSite> {
+    let mut sites = Vec::new();
+    let mut visit = 0usize;
+    net.for_each_cbr(|role, cbr| {
+        if let ConvKernel::Full(c) = &cbr.kernel {
+            let (kh, kw) = c.kernel();
+            // 1×1 convs (shortcuts) have nothing to factor; skip the stem
+            // and shortcut roles too — they are small and fragile.
+            if kh * kw > 1 && !matches!(role, CbrRole::Shortcut | CbrRole::Stem) {
+                sites.push(FactorSite {
+                    visit_idx: visit,
+                    out_c: c.out_channels(),
+                    width: c.weight.dims()[1],
+                });
+            }
+        }
+        visit += 1;
+    });
+    sites
+}
+
+/// Parameters saved by factoring a site at `rank` (0 if not profitable).
+pub fn saving(site: FactorSite, rank: usize) -> i64 {
+    let full = (site.out_c * site.width) as i64;
+    let fact = (rank * site.width + site.out_c * rank) as i64;
+    full - fact
+}
+
+/// Largest rank that still *reduces* both parameters and FLOPs.
+///
+/// A factorised conv costs `r·width + oc·r` parameters and
+/// `r·width + oc·r` MACs per output position versus `oc·width` for the
+/// full kernel, so any saving requires `r < oc·width / (oc + width)`.
+/// We cap at 75% of that break-even point so factorisation is never a
+/// degenerate no-op.
+pub fn max_useful_rank(site: FactorSite) -> usize {
+    let neutral = (site.out_c * site.width) as f32 / (site.out_c + site.width) as f32;
+    ((neutral * 0.75).floor() as usize).max(1)
+}
+
+/// Rank for a site at rank-fraction `rho ∈ (0, 1]`.
+pub fn rank_at(site: FactorSite, rho: f32) -> usize {
+    let max_rank = max_useful_rank(site);
+    ((max_rank as f32 * rho).floor() as usize).clamp(1, max_rank)
+}
+
+/// Binary-search a common rank fraction whose total (profitable-site)
+/// saving approximates `target_params` removed. Returns `(rho, ranks)`
+/// where `ranks[i]` is `None` for sites that are unprofitable at `rho`.
+pub fn choose_rank_fraction(
+    sites: &[FactorSite],
+    target_params: usize,
+) -> (f32, Vec<Option<usize>>) {
+    let total_saving_at = |rho: f32| -> i64 {
+        sites
+            .iter()
+            .map(|&s| saving(s, rank_at(s, rho)).max(0))
+            .sum()
+    };
+    // If even the gentlest factorisation (every site at its maximum useful
+    // rank) over-saves, factor only a *subset* of sites: greedily pick the
+    // highest-saving sites until the target is met and leave the rest
+    // untouched — far less damaging than blanket low-rank replacement.
+    if total_saving_at(1.0) >= target_params as i64 {
+        let mut order: Vec<usize> = (0..sites.len()).collect();
+        order.sort_by_key(|&i| -saving(sites[i], max_useful_rank(sites[i])).max(0));
+        let mut ranks: Vec<Option<usize>> = vec![None; sites.len()];
+        let mut saved = 0i64;
+        for i in order {
+            if saved >= target_params as i64 {
+                break;
+            }
+            let r = max_useful_rank(sites[i]);
+            let s = saving(sites[i], r);
+            if s > 0 {
+                ranks[i] = Some(r);
+                saved += s;
+            }
+        }
+        return (1.0, ranks);
+    }
+    let (mut lo, mut hi) = (0.02f32, 1.0f32);
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        if total_saving_at(mid) as i64 >= target_params as i64 {
+            lo = mid; // higher rank keeps more params — tighten from below
+        } else {
+            hi = mid;
+        }
+    }
+    // `lo` is the largest fraction that still meets the target (or the
+    // closest achievable if even rank 1 cannot).
+    let rho = if total_saving_at(lo) >= target_params as i64 { lo } else { hi.min(lo) };
+    let ranks = sites
+        .iter()
+        .map(|&s| {
+            let r = rank_at(s, rho);
+            (saving(s, r) > 0).then_some(r)
+        })
+        .collect();
+    (rho, ranks)
+}
+
+/// Apply per-site factorisation ranks chosen by [`choose_rank_fraction`].
+pub fn factorize_sites(net: &mut ConvNet, sites: &[FactorSite], ranks: &[Option<usize>]) {
+    let mut visit = 0usize;
+    let mut cursor = 0usize;
+    net.for_each_cbr_mut(|_, cbr| {
+        if cursor < sites.len() && sites[cursor].visit_idx == visit {
+            if let Some(rank) = ranks[cursor] {
+                cbr.factorize(rank, None);
+            }
+            cursor += 1;
+        }
+        visit += 1;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_models::vgg;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn sites_exclude_one_by_one_kernels() {
+        let mut rng = rng_from_seed(170);
+        let net = automc_models::resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        for s in factor_sites(&net) {
+            assert!(s.width >= 9 * 3, "3×3 kernels only, got width {}", s.width);
+        }
+    }
+
+    #[test]
+    fn saving_is_monotone_in_rank() {
+        let site = FactorSite { visit_idx: 0, out_c: 16, width: 72 };
+        assert!(saving(site, 1) > saving(site, 8));
+        assert!(saving(site, 1) > 0);
+    }
+
+    #[test]
+    fn binary_search_meets_feasible_target() {
+        let mut rng = rng_from_seed(171);
+        let net = vgg(16, 8, 10, (3, 8, 8), &mut rng);
+        let sites = factor_sites(&net);
+        let max_possible: i64 = sites.iter().map(|&s| saving(s, 1).max(0)).sum();
+        let target = (max_possible / 3) as usize;
+        let (_, ranks) = choose_rank_fraction(&sites, target);
+        let achieved: i64 = sites
+            .iter()
+            .zip(&ranks)
+            .filter_map(|(&s, r)| r.map(|r| saving(s, r)))
+            .sum();
+        assert!(
+            achieved >= target as i64,
+            "achieved {achieved} < target {target}"
+        );
+        // And not wildly more than needed (binary search is tight-ish).
+        assert!(achieved <= max_possible);
+    }
+
+    #[test]
+    fn factorize_sites_reduces_params() {
+        let mut rng = rng_from_seed(172);
+        let mut net = vgg(16, 8, 10, (3, 8, 8), &mut rng);
+        let before = net.param_count();
+        let sites = factor_sites(&net);
+        let (_, ranks) = choose_rank_fraction(&sites, before / 4);
+        factorize_sites(&mut net, &sites, &ranks);
+        let after = net.param_count();
+        assert!(after < before, "{after} !< {before}");
+        // Still runnable.
+        let x = automc_tensor::Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(net.forward(&x, false).dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn infeasible_target_degrades_gracefully() {
+        let mut rng = rng_from_seed(173);
+        let net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
+        let sites = factor_sites(&net);
+        let (_, ranks) = choose_rank_fraction(&sites, 100_000_000);
+        // Everything profitable gets rank 1.
+        for (s, r) in sites.iter().zip(&ranks) {
+            if let Some(r) = r {
+                assert_eq!(*r, 1, "site {s:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! C4 — SFP: soft filter pruning (He et al.).
+//!
+//! During `HP9 × E₀` epochs of ordinary training, every `HP10` epochs the
+//! lowest-L2 filters at each site are *zeroed but kept trainable* (soft
+//! masking — they may regrow). After training, the currently-weakest
+//! filters are hard-pruned to meet the parameter target. SFP has no
+//! separate fine-tuning phase: recovery happens during the soft epochs.
+
+use super::{train_cost, ExecConfig};
+use crate::scheme::EvalCost;
+use automc_data::ImageSet;
+use automc_models::surgery::{
+    global_prune_by_scores, prunable_sites, site_scores, soft_zero_site, Criterion,
+};
+use automc_models::train::{train, Auxiliary};
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+pub fn apply(
+    model: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    ratio: f32,
+    bp_epochs: f32,
+    update_freq: usize,
+    rng: &mut Rng,
+) -> EvalCost {
+    let epochs = (cfg.epochs(bp_epochs).round() as usize).max(1);
+    let freq = update_freq.max(1);
+    for e in 0..epochs {
+        train(model, train_set, &cfg.train_cfg(1.0), Auxiliary::None, rng);
+        if e % freq == 0 {
+            // Soft-zero the weakest `ratio` fraction of filters per site.
+            for site in prunable_sites(model) {
+                let scores = site_scores(model, site, Criterion::L2Weight);
+                let mut order: Vec<usize> = (0..scores.len()).collect();
+                order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+                let zap = ((scores.len() as f32 * ratio) as usize)
+                    .min(scores.len().saturating_sub(2));
+                soft_zero_site(model, site, &order[..zap]);
+            }
+        }
+    }
+    // Hard prune: the soft-zeroed filters have near-zero norms and are
+    // removed first by the global ranking.
+    let sites = prunable_sites(model);
+    let scores: Vec<Vec<f32>> = sites
+        .iter()
+        .map(|&s| site_scores(model, s, Criterion::L2Weight))
+        .collect();
+    global_prune_by_scores(model, &sites, &scores, ratio, 0.9);
+    train_cost(train_set, epochs as f32)
+}

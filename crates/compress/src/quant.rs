@@ -1,0 +1,242 @@
+//! Quantization — the extension compression family.
+//!
+//! The paper surveys quantization as the fourth compression family
+//! (Jacob et al., INQ) but leaves it out of the search space, listing
+//! "enrich our search space" as future work. This module supplies that
+//! extension: symmetric per-filter weight quantization with optional
+//! quantization-aware fine-tuning (QAT), plus an *extended* strategy grid
+//! ([`extended_space`]) that appends quantization strategies (labelled C7)
+//! to the Table 1 grid.
+//!
+//! Quantization does not remove parameters, so `PR` is untouched; its
+//! payoff is *model size*. [`size_bytes`] reports the effective storage
+//! of a (possibly mixed-precision) network; the `quantization` bench
+//! regenerates the accuracy-vs-bits trade-off curve.
+
+use crate::methods::ExecConfig;
+use crate::scheme::EvalCost;
+use crate::space::StrategySpace;
+use automc_data::ImageSet;
+use automc_models::train::{train, Auxiliary};
+use automc_models::{ConvKernel, ConvNet};
+use automc_tensor::{Rng, Tensor};
+
+/// A quantization strategy: weight bit-width plus a QAT budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantSpec {
+    /// Weight bit-width (2–8 make sense; 32 = no-op).
+    pub bits: u32,
+    /// Quantization-aware fine-tuning epochs (×E₀); 0 = post-training
+    /// quantization only.
+    pub qat_epochs: f32,
+}
+
+/// The bit-width grid of the extended space (HP17).
+pub const QUANT_BITS: [u32; 3] = [2, 4, 8];
+/// The QAT-epoch grid of the extended space (HP18).
+pub const QUANT_QAT: [f32; 3] = [0.0, 0.2, 0.4];
+
+/// Quantize every conv/linear weight tensor to `bits` bits, symmetric
+/// per-row (per-filter) scaling, storing the *dequantized* values so the
+/// f32 engine keeps working. Returns the mean absolute rounding error.
+pub fn quantize_weights(net: &mut ConvNet, bits: u32) -> f32 {
+    if bits >= 32 {
+        return 0.0;
+    }
+    let levels = (1i64 << (bits - 1)) - 1; // symmetric: ±levels
+    let mut err_sum = 0.0f64;
+    let mut count = 0usize;
+    let mut quantize_rows = |w: &mut Tensor| {
+        let rows = w.dims()[0].max(1);
+        for r in 0..rows {
+            let row = w.row_mut(r);
+            let max = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            if max <= 0.0 {
+                continue;
+            }
+            let scale = max / levels as f32;
+            for v in row.iter_mut() {
+                let q = (*v / scale).round().clamp(-(levels as f32), levels as f32);
+                let deq = q * scale;
+                err_sum += (deq - *v).abs() as f64;
+                *v = deq;
+                count += 1;
+            }
+        }
+    };
+    net.for_each_cbr_mut(|_, cbr| match &mut cbr.kernel {
+        ConvKernel::Full(c) => quantize_rows(&mut c.weight),
+        ConvKernel::Factored { basis, point, .. } => {
+            quantize_rows(&mut basis.weight);
+            quantize_rows(&mut point.weight);
+        }
+    });
+    for unit in &mut net.units {
+        if let automc_models::Unit::Classifier(head) = unit {
+            quantize_rows(&mut head.linear.weight);
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (err_sum / count as f64) as f32
+    }
+}
+
+/// Apply a quantization strategy: (optional) QAT epochs where weights are
+/// re-quantized after every epoch, then a final quantization pass.
+pub fn apply_quant(
+    spec: &QuantSpec,
+    net: &mut ConvNet,
+    train_set: &ImageSet,
+    cfg: &ExecConfig,
+    rng: &mut Rng,
+) -> EvalCost {
+    let epochs = (cfg.epochs(spec.qat_epochs).round() as usize).min(16);
+    if spec.qat_epochs > 0.0 {
+        for _ in 0..epochs.max(1) {
+            quantize_weights(net, spec.bits);
+            train(net, train_set, &cfg.train_cfg(1.0), Auxiliary::None, rng);
+        }
+    }
+    quantize_weights(net, spec.bits);
+    EvalCost {
+        trained_images: if spec.qat_epochs > 0.0 {
+            (epochs.max(1) * train_set.len()) as u64
+        } else {
+            0
+        },
+        eval_images: 0,
+    }
+}
+
+/// Effective storage of a network whose weights are `bits`-bit quantized
+/// (BN/bias stay f32 — they are a rounding error of the total).
+pub fn size_bytes(net: &ConvNet, bits: u32) -> u64 {
+    (net.param_count() as u64 * bits as u64).div_ceil(8)
+}
+
+/// Quantization strategies for the extended grid (the C7 family).
+pub fn quant_grid() -> Vec<QuantSpec> {
+    let mut grid = Vec::new();
+    for bits in QUANT_BITS {
+        for qat in QUANT_QAT {
+            grid.push(QuantSpec { bits, qat_epochs: qat });
+        }
+    }
+    grid
+}
+
+/// The Table 1 grid plus the quantization family — the "enriched search
+/// space" the paper's future-work section sketches. Returned separately
+/// from [`StrategySpace::full`] so every paper-faithful experiment keeps
+/// the original 6-method space.
+pub fn extended_space() -> (StrategySpace, Vec<QuantSpec>) {
+    (StrategySpace::full(), quant_grid())
+}
+
+/// Convenience: describe a quant spec like the Table 1 strategies print.
+pub fn describe(spec: &QuantSpec) -> String {
+    format!("C7[Quant](HP17={}bit, HP18=*{})", spec.bits, spec.qat_epochs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_data::{DatasetSpec, SyntheticKind};
+    use automc_models::resnet;
+    use automc_models::train::evaluate;
+    use automc_tensor::rng_from_seed;
+
+    fn trained_net() -> (ConvNet, ImageSet, ImageSet) {
+        let mut rng = rng_from_seed(600);
+        let (train_set, test_set) = DatasetSpec {
+            train: 240,
+            test: 120,
+            noise: 0.25,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut net,
+            &train_set,
+            &automc_models::train::TrainConfig { epochs: 6.0, ..Default::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        (net, train_set, test_set)
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let (net, _, _) = trained_net();
+        let mut errs = Vec::new();
+        for bits in [2u32, 4, 8] {
+            let mut copy = net.clone_net();
+            errs.push(quantize_weights(&mut copy, bits));
+        }
+        assert!(errs[0] > errs[1], "2-bit error {} !> 4-bit {}", errs[0], errs[1]);
+        assert!(errs[1] > errs[2], "4-bit error {} !> 8-bit {}", errs[1], errs[2]);
+        assert!(errs[2] > 0.0);
+    }
+
+    #[test]
+    fn thirty_two_bit_is_noop() {
+        let (net, _, _) = trained_net();
+        let mut copy = net.clone_net();
+        assert_eq!(quantize_weights(&mut copy, 32), 0.0);
+    }
+
+    #[test]
+    fn eight_bit_preserves_accuracy() {
+        let (net, _, test_set) = trained_net();
+        let mut q = net.clone_net();
+        quantize_weights(&mut q, 8);
+        let mut base = net.clone_net();
+        let acc_base = evaluate(&mut base, &test_set);
+        let acc_q = evaluate(&mut q, &test_set);
+        assert!(
+            acc_q > acc_base - 0.05,
+            "8-bit quantization should be nearly lossless: {acc_base} → {acc_q}"
+        );
+    }
+
+    #[test]
+    fn qat_recovers_low_bit_accuracy() {
+        let (net, train_set, test_set) = trained_net();
+        let mut rng = rng_from_seed(601);
+        let cfg = ExecConfig { pretrain_epochs: 6.0, ..Default::default() };
+        // Post-training 2-bit.
+        let mut ptq = net.clone_net();
+        apply_quant(&QuantSpec { bits: 2, qat_epochs: 0.0 }, &mut ptq, &train_set, &cfg, &mut rng);
+        let acc_ptq = evaluate(&mut ptq, &test_set);
+        // QAT 2-bit.
+        let mut qat = net.clone_net();
+        apply_quant(&QuantSpec { bits: 2, qat_epochs: 0.5 }, &mut qat, &train_set, &cfg, &mut rng);
+        let acc_qat = evaluate(&mut qat, &test_set);
+        assert!(
+            acc_qat >= acc_ptq,
+            "QAT should not be worse than PTQ at 2 bits: {acc_ptq} vs {acc_qat}"
+        );
+    }
+
+    #[test]
+    fn size_accounting() {
+        let (net, _, _) = trained_net();
+        let full = size_bytes(&net, 32);
+        let int8 = size_bytes(&net, 8);
+        assert_eq!(full, net.param_count() as u64 * 4);
+        assert_eq!(int8 * 4, full);
+    }
+
+    #[test]
+    fn grid_and_description() {
+        let grid = quant_grid();
+        assert_eq!(grid.len(), 9);
+        assert!(describe(&grid[0]).contains("C7"));
+        let (space, quants) = extended_space();
+        assert_eq!(space.len(), 4230);
+        assert_eq!(quants.len(), 9);
+    }
+}

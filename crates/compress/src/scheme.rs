@@ -1,0 +1,206 @@
+//! Compression schemes: strategy sequences, execution, and the paper's
+//! metrics.
+
+use crate::methods::{apply_strategy, ExecConfig};
+use crate::space::{StrategyId, StrategySpace};
+use automc_data::ImageSet;
+use automc_models::train::evaluate;
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+/// A compression scheme `S = s₁ → s₂ → … → s_k` (paper §3.1).
+pub type Scheme = Vec<StrategyId>;
+
+/// Snapshot of a model's size/speed/quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// `P(M)` — parameter count.
+    pub params: usize,
+    /// `F(M)` — FLOPs per image.
+    pub flops: u64,
+    /// `A(M)` — accuracy on the evaluation set.
+    pub acc: f32,
+}
+
+impl Metrics {
+    /// Measure a model against an evaluation set.
+    pub fn measure(model: &mut ConvNet, eval_set: &ImageSet) -> Metrics {
+        Metrics {
+            params: model.param_count(),
+            flops: model.flops(),
+            acc: evaluate(model, eval_set),
+        }
+    }
+
+    /// `PR(S, M)` — parameter reduction rate vs `base`.
+    pub fn pr(&self, base: &Metrics) -> f32 {
+        1.0 - self.params as f32 / base.params.max(1) as f32
+    }
+
+    /// `FR(S, M)` — FLOPs reduction rate vs `base`.
+    pub fn fr(&self, base: &Metrics) -> f32 {
+        1.0 - self.flops as f32 / base.flops.max(1) as f32
+    }
+
+    /// `AR(S, M)` — accuracy increase rate vs `base`.
+    pub fn ar(&self, base: &Metrics) -> f32 {
+        (self.acc - base.acc) / base.acc.max(1e-6)
+    }
+}
+
+/// Simulated cost of executing strategies — the budget currency that keeps
+/// search algorithms comparable (stand-in for the paper's GPU-days).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalCost {
+    /// Images pushed through training (forward+backward).
+    pub trained_images: u64,
+    /// Images pushed through inference only.
+    pub eval_images: u64,
+}
+
+impl EvalCost {
+    /// Scalar cost: an inference pass is ~⅓ of a training pass.
+    pub fn units(&self) -> u64 {
+        self.trained_images * 3 + self.eval_images
+    }
+
+    /// Accumulate.
+    pub fn add(&mut self, other: EvalCost) {
+        self.trained_images += other.trained_images;
+        self.eval_images += other.eval_images;
+    }
+}
+
+/// Per-step record of a scheme execution: the deltas `F_mo` learns from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepRecord {
+    /// The strategy applied at this step.
+    pub strategy: StrategyId,
+    /// `AR_step` — accuracy change rate relative to the previous step.
+    pub ar_step: f32,
+    /// `PR_step` — parameter reduction rate relative to the previous step.
+    pub pr_step: f32,
+    /// Metrics after the step.
+    pub after: Metrics,
+}
+
+/// Result of executing a full scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeOutcome {
+    /// Metrics of the final compressed model.
+    pub metrics: Metrics,
+    /// `PR` vs the original model.
+    pub pr: f32,
+    /// `FR` vs the original model.
+    pub fr: f32,
+    /// `AR` vs the original model.
+    pub ar: f32,
+    /// Per-step deltas.
+    pub steps: Vec<StepRecord>,
+    /// Total simulated cost.
+    pub cost: EvalCost,
+}
+
+/// Execute a scheme on a copy of `base_model`.
+///
+/// * `train_set` — data available for (re-)training (the 10% sample during
+///   search);
+/// * `eval_set` — held-out data for `A(M)`.
+///
+/// Returns the compressed model and the outcome record.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_scheme(
+    base_model: &ConvNet,
+    base_metrics: &Metrics,
+    scheme: &[StrategyId],
+    space: &StrategySpace,
+    train_set: &ImageSet,
+    eval_set: &ImageSet,
+    cfg: &ExecConfig,
+    rng: &mut Rng,
+) -> (ConvNet, SchemeOutcome) {
+    let mut model = base_model.clone_net();
+    let mut prev = *base_metrics;
+    let mut steps = Vec::with_capacity(scheme.len());
+    let mut cost = EvalCost::default();
+    for &sid in scheme {
+        let spec = space.spec(sid);
+        cost.add(apply_strategy(spec, &mut model, train_set, cfg, rng));
+        let after = Metrics::measure(&mut model, eval_set);
+        cost.eval_images += eval_set.len() as u64;
+        steps.push(StepRecord {
+            strategy: sid,
+            ar_step: after.ar(&prev),
+            pr_step: after.pr(&prev),
+            after,
+        });
+        prev = after;
+    }
+    let outcome = SchemeOutcome {
+        metrics: prev,
+        pr: prev.pr(base_metrics),
+        fr: prev.fr(base_metrics),
+        ar: prev.ar(base_metrics),
+        steps,
+        cost,
+    };
+    (model, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::StrategySpace;
+    use automc_data::{DatasetSpec, SyntheticKind};
+    use automc_models::resnet;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn metrics_reduction_rates() {
+        let base = Metrics { params: 1000, flops: 2000, acc: 0.8 };
+        let small = Metrics { params: 600, flops: 1000, acc: 0.84 };
+        assert!((small.pr(&base) - 0.4).abs() < 1e-6);
+        assert!((small.fr(&base) - 0.5).abs() < 1e-6);
+        assert!((small.ar(&base) - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eval_cost_units_weigh_training() {
+        let c = EvalCost { trained_images: 10, eval_images: 30 };
+        assert_eq!(c.units(), 60);
+        let mut acc = EvalCost::default();
+        acc.add(c);
+        acc.add(c);
+        assert_eq!(acc.trained_images, 20);
+    }
+
+    #[test]
+    fn empty_scheme_is_identity() {
+        let mut rng = rng_from_seed(180);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 60,
+            test: 40,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let base_metrics = Metrics::measure(&mut base, &eval_set);
+        let space = StrategySpace::full();
+        let cfg = ExecConfig { pretrain_epochs: 1.0, ..ExecConfig::default() };
+        let (model, out) = execute_scheme(
+            &base,
+            &base_metrics,
+            &[],
+            &space,
+            &train_set,
+            &eval_set,
+            &cfg,
+            &mut rng,
+        );
+        assert_eq!(model.param_count(), base.param_count());
+        assert_eq!(out.pr, 0.0);
+        assert_eq!(out.ar, 0.0);
+        assert!(out.steps.is_empty());
+        assert_eq!(out.cost.units(), 0);
+    }
+}

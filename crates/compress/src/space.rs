@@ -1,0 +1,479 @@
+//! The strategy grid of paper Table 1.
+
+use automc_models::surgery::Criterion;
+use automc_models::train::AuxKind;
+use std::fmt;
+
+/// Which of the six compression methods a strategy instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodId {
+    /// C1 — LMA knowledge distillation.
+    Lma,
+    /// C2 — LeGR learned-global-ranking filter pruning.
+    Legr,
+    /// C3 — NS network slimming.
+    Ns,
+    /// C4 — SFP soft filter pruning.
+    Sfp,
+    /// C5 — HOS higher-order-statistics pruning + low-rank approximation.
+    Hos,
+    /// C6 — LFB low-rank filter basis.
+    Lfb,
+}
+
+impl MethodId {
+    /// All six methods in Table 1 order.
+    pub const ALL: [MethodId; 6] = [
+        MethodId::Lma,
+        MethodId::Legr,
+        MethodId::Ns,
+        MethodId::Sfp,
+        MethodId::Hos,
+        MethodId::Lfb,
+    ];
+
+    /// Paper label, e.g. `"C2"`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MethodId::Lma => "C1",
+            MethodId::Legr => "C2",
+            MethodId::Ns => "C3",
+            MethodId::Sfp => "C4",
+            MethodId::Hos => "C5",
+            MethodId::Lfb => "C6",
+        }
+    }
+
+    /// Human name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodId::Lma => "LMA",
+            MethodId::Legr => "LeGR",
+            MethodId::Ns => "NS",
+            MethodId::Sfp => "SFP",
+            MethodId::Hos => "HOS",
+            MethodId::Lfb => "LFB",
+        }
+    }
+
+    /// Compression-technique tags (the `TE` entities of the knowledge
+    /// graph, paper Fig. 2).
+    pub fn techniques(&self) -> &'static [&'static str] {
+        match self {
+            MethodId::Lma => &["TE1:distillation_lma"],
+            MethodId::Legr => &["TE2:filter_pruning_ea", "TE3:fine_tune"],
+            MethodId::Ns => &["TE4:channel_pruning_bn", "TE3:fine_tune"],
+            MethodId::Sfp => &["TE5:filter_pruning_bp"],
+            MethodId::Hos => &["TE6:filter_pruning_hos", "TE7:low_rank_hooi", "TE3:fine_tune"],
+            MethodId::Lfb => &["TE9:low_rank_filter_basis"],
+        }
+    }
+}
+
+/// HOS's global evaluation criteria (HP11): how per-layer pruning budgets
+/// are combined.
+pub const HOS_GLOBAL: [&str; 3] = ["P1", "P2", "P3"];
+
+/// LFB's auxiliary-loss options (HP16).
+pub const LFB_AUX: [AuxKind; 3] = [AuxKind::Nll, AuxKind::Ce, AuxKind::Mse];
+
+/// One fully-specified compression strategy (method + hyperparameters).
+///
+/// Epoch-like fields are *multipliers of the pre-training epoch count* `E₀`
+/// (the `*n` notation of Table 1); `ratio` is the fraction of the current
+/// model's parameters to remove (`×γ` notation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StrategySpec {
+    /// C1 — distillation into a globally-thinned student.
+    Lma {
+        /// HP1: fine-tune epochs (×E₀).
+        ft_epochs: f32,
+        /// HP2: parameter decrease ratio.
+        ratio: f32,
+        /// HP4: softmax temperature.
+        temperature: f32,
+        /// HP5: KD-vs-CE blend.
+        alpha: f32,
+    },
+    /// C2 — EA-learned global ranking pruning.
+    Legr {
+        /// HP1: fine-tune epochs (×E₀).
+        ft_epochs: f32,
+        /// HP2: parameter decrease ratio.
+        ratio: f32,
+        /// HP6: per-layer maximum pruning ratio.
+        max_prune: f32,
+        /// HP7: evolution epochs (×E₀) — sets the EA generation budget.
+        evo_epochs: f32,
+        /// HP8: filter evaluation criterion.
+        criterion: Criterion,
+    },
+    /// C3 — network slimming.
+    Ns {
+        /// HP1: fine-tune epochs (×E₀), split between sparsity training
+        /// and post-prune fine-tuning.
+        ft_epochs: f32,
+        /// HP2: parameter decrease ratio.
+        ratio: f32,
+        /// HP6: per-layer maximum pruning ratio.
+        max_prune: f32,
+    },
+    /// C4 — soft filter pruning.
+    Sfp {
+        /// HP2: parameter decrease ratio.
+        ratio: f32,
+        /// HP9: back-propagation epochs (×E₀).
+        bp_epochs: f32,
+        /// HP10: soft-mask update frequency (epochs).
+        update_freq: usize,
+    },
+    /// C5 — HOS pruning + low-rank kernel approximation.
+    Hos {
+        /// HP1: fine-tune epochs (×E₀).
+        ft_epochs: f32,
+        /// HP2: parameter decrease ratio.
+        ratio: f32,
+        /// HP11: global budget scheme (index into [`HOS_GLOBAL`]).
+        global: usize,
+        /// HP12: per-filter criterion.
+        criterion: Criterion,
+        /// HP13: optimisation epochs (×E₀) for the reconstruction phase.
+        opt_epochs: f32,
+        /// HP14: MSE auxiliary-loss factor.
+        mse_factor: f32,
+    },
+    /// C6 — shared low-rank filter basis.
+    Lfb {
+        /// HP1: fine-tune epochs (×E₀).
+        ft_epochs: f32,
+        /// HP2: parameter decrease ratio.
+        ratio: f32,
+        /// HP15: auxiliary-loss factor.
+        aux_factor: f32,
+        /// HP16: auxiliary-loss kind.
+        aux_loss: AuxKind,
+    },
+}
+
+impl StrategySpec {
+    /// The method this strategy instantiates.
+    pub fn method(&self) -> MethodId {
+        match self {
+            StrategySpec::Lma { .. } => MethodId::Lma,
+            StrategySpec::Legr { .. } => MethodId::Legr,
+            StrategySpec::Ns { .. } => MethodId::Ns,
+            StrategySpec::Sfp { .. } => MethodId::Sfp,
+            StrategySpec::Hos { .. } => MethodId::Hos,
+            StrategySpec::Lfb { .. } => MethodId::Lfb,
+        }
+    }
+
+    /// The parameter-decrease ratio (HP2) common to all methods.
+    pub fn ratio(&self) -> f32 {
+        match *self {
+            StrategySpec::Lma { ratio, .. }
+            | StrategySpec::Legr { ratio, .. }
+            | StrategySpec::Ns { ratio, .. }
+            | StrategySpec::Sfp { ratio, .. }
+            | StrategySpec::Hos { ratio, .. }
+            | StrategySpec::Lfb { ratio, .. } => ratio,
+        }
+    }
+
+    /// `(hyperparameter id, setting label)` pairs — the `R2`/`R5` edges of
+    /// the knowledge graph.
+    pub fn hyper_settings(&self) -> Vec<HpSetting> {
+        fn hp(id: u8, label: String) -> HpSetting {
+            HpSetting { hp: id, label }
+        }
+        match *self {
+            StrategySpec::Lma { ft_epochs, ratio, temperature, alpha } => vec![
+                hp(1, format!("*{ft_epochs}")),
+                hp(2, format!("x{ratio}")),
+                hp(4, format!("{temperature}")),
+                hp(5, format!("{alpha}")),
+            ],
+            StrategySpec::Legr { ft_epochs, ratio, max_prune, evo_epochs, criterion } => vec![
+                hp(1, format!("*{ft_epochs}")),
+                hp(2, format!("x{ratio}")),
+                hp(6, format!("{max_prune}")),
+                hp(7, format!("*{evo_epochs}")),
+                hp(8, format!("{criterion:?}")),
+            ],
+            StrategySpec::Ns { ft_epochs, ratio, max_prune } => vec![
+                hp(1, format!("*{ft_epochs}")),
+                hp(2, format!("x{ratio}")),
+                hp(6, format!("{max_prune}")),
+            ],
+            StrategySpec::Sfp { ratio, bp_epochs, update_freq } => vec![
+                hp(2, format!("x{ratio}")),
+                hp(9, format!("*{bp_epochs}")),
+                hp(10, format!("{update_freq}")),
+            ],
+            StrategySpec::Hos { ft_epochs, ratio, global, criterion, opt_epochs, mse_factor } => {
+                vec![
+                    hp(1, format!("*{ft_epochs}")),
+                    hp(2, format!("x{ratio}")),
+                    hp(11, HOS_GLOBAL[global].to_string()),
+                    hp(12, format!("{criterion:?}")),
+                    hp(13, format!("*{opt_epochs}")),
+                    hp(14, format!("{mse_factor}")),
+                ]
+            }
+            StrategySpec::Lfb { ft_epochs, ratio, aux_factor, aux_loss } => vec![
+                hp(1, format!("*{ft_epochs}")),
+                hp(2, format!("x{ratio}")),
+                hp(15, format!("{aux_factor}")),
+                hp(16, format!("{aux_loss:?}")),
+            ],
+        }
+    }
+}
+
+impl fmt::Display for StrategySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}](", self.method().label(), self.method().name())?;
+        let settings = self.hyper_settings();
+        for (i, s) in settings.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "HP{}={}", s.hp, s.label)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// One hyperparameter setting of a strategy (KG edge payload).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HpSetting {
+    /// Hyperparameter id (1–16, Table 1 numbering).
+    pub hp: u8,
+    /// Human-readable setting label (doubles as the `E4` entity key).
+    pub label: String,
+}
+
+/// Identifier of a strategy within a [`StrategySpace`].
+pub type StrategyId = usize;
+
+/// An enumerated grid of compression strategies.
+pub struct StrategySpace {
+    specs: Vec<StrategySpec>,
+}
+
+const HP1: [f32; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+const HP2: [f32; 6] = [0.04, 0.12, 0.2, 0.28, 0.36, 0.4];
+const HP4: [f32; 4] = [1.0, 3.0, 6.0, 10.0];
+const HP5: [f32; 4] = [0.05, 0.3, 0.5, 0.99];
+const HP6: [f32; 2] = [0.7, 0.9];
+const HP7: [f32; 4] = [0.4, 0.5, 0.6, 0.7];
+const HP8: [Criterion; 3] = [Criterion::L1Weight, Criterion::L2Weight, Criterion::L2BnParam];
+const HP9: [f32; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
+const HP10: [usize; 3] = [1, 3, 5];
+const HP12: [Criterion; 3] = [Criterion::L1Weight, Criterion::K34, Criterion::SkewKur];
+const HP13: [f32; 3] = [0.3, 0.4, 0.5];
+const HP14: [f32; 3] = [1.0, 3.0, 5.0];
+const HP15: [f32; 5] = [0.5, 1.0, 1.5, 3.0, 5.0];
+
+impl StrategySpace {
+    /// The full Table 1 grid (4,230 strategies).
+    pub fn full() -> Self {
+        Self::for_methods(&MethodId::ALL)
+    }
+
+    /// Grid restricted to one method — the `AutoMC-Multiple Source`
+    /// ablation uses `for_methods(&[MethodId::Legr])`.
+    pub fn for_methods(methods: &[MethodId]) -> Self {
+        let mut specs = Vec::new();
+        for &m in methods {
+            match m {
+                MethodId::Lma => {
+                    for ft in HP1 {
+                        for r in HP2 {
+                            for t in HP4 {
+                                for a in HP5 {
+                                    specs.push(StrategySpec::Lma {
+                                        ft_epochs: ft,
+                                        ratio: r,
+                                        temperature: t,
+                                        alpha: a,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                MethodId::Legr => {
+                    for ft in HP1 {
+                        for r in HP2 {
+                            for mp in HP6 {
+                                for evo in HP7 {
+                                    for crit in HP8 {
+                                        specs.push(StrategySpec::Legr {
+                                            ft_epochs: ft,
+                                            ratio: r,
+                                            max_prune: mp,
+                                            evo_epochs: evo,
+                                            criterion: crit,
+                                        });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                MethodId::Ns => {
+                    for ft in HP1 {
+                        for r in HP2 {
+                            for mp in HP6 {
+                                specs.push(StrategySpec::Ns {
+                                    ft_epochs: ft,
+                                    ratio: r,
+                                    max_prune: mp,
+                                });
+                            }
+                        }
+                    }
+                }
+                MethodId::Sfp => {
+                    for r in HP2 {
+                        for bp in HP9 {
+                            for uf in HP10 {
+                                specs.push(StrategySpec::Sfp {
+                                    ratio: r,
+                                    bp_epochs: bp,
+                                    update_freq: uf,
+                                });
+                            }
+                        }
+                    }
+                }
+                MethodId::Hos => {
+                    for ft in HP1 {
+                        for r in HP2 {
+                            for g in 0..HOS_GLOBAL.len() {
+                                for crit in HP12 {
+                                    for opt in HP13 {
+                                        for mse in HP14 {
+                                            specs.push(StrategySpec::Hos {
+                                                ft_epochs: ft,
+                                                ratio: r,
+                                                global: g,
+                                                criterion: crit,
+                                                opt_epochs: opt,
+                                                mse_factor: mse,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                MethodId::Lfb => {
+                    for ft in HP1 {
+                        for r in HP2 {
+                            for af in HP15 {
+                                for al in LFB_AUX {
+                                    specs.push(StrategySpec::Lfb {
+                                        ft_epochs: ft,
+                                        ratio: r,
+                                        aux_factor: af,
+                                        aux_loss: al,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        StrategySpace { specs }
+    }
+
+    /// Number of strategies.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Look up a strategy.
+    pub fn spec(&self, id: StrategyId) -> &StrategySpec {
+        &self.specs[id]
+    }
+
+    /// Iterate `(id, spec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (StrategyId, &StrategySpec)> {
+        self.specs.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_space_size() {
+        let s = StrategySpace::full();
+        // 480 + 720 + 60 + 90 + 2430 + 450
+        assert_eq!(s.len(), 4230);
+    }
+
+    #[test]
+    fn per_method_sizes() {
+        let sizes: Vec<usize> = MethodId::ALL
+            .iter()
+            .map(|&m| StrategySpace::for_methods(&[m]).len())
+            .collect();
+        assert_eq!(sizes, vec![480, 720, 60, 90, 2430, 450]);
+    }
+
+    #[test]
+    fn methods_partition_the_space() {
+        let full = StrategySpace::full();
+        let mut count = 0;
+        for m in MethodId::ALL {
+            count += full.iter().filter(|(_, s)| s.method() == m).count();
+        }
+        assert_eq!(count, full.len());
+    }
+
+    #[test]
+    fn hyper_settings_nonempty_and_tagged() {
+        let s = StrategySpace::full();
+        for (_, spec) in s.iter() {
+            let hs = spec.hyper_settings();
+            assert!(!hs.is_empty());
+            assert!(hs.iter().all(|h| (1..=16).contains(&h.hp)));
+            // HP2 present everywhere.
+            assert!(hs.iter().any(|h| h.hp == 2));
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = StrategySpace::full();
+        let text = format!("{}", s.spec(0));
+        assert!(text.contains("C1"));
+        assert!(text.contains("HP2="));
+    }
+
+    #[test]
+    fn ratio_accessor_matches_grid() {
+        let s = StrategySpace::full();
+        for (_, spec) in s.iter() {
+            assert!(HP2.contains(&spec.ratio()));
+        }
+    }
+
+    #[test]
+    fn single_method_space_for_ablation() {
+        let s = StrategySpace::for_methods(&[MethodId::Legr]);
+        assert!(s.iter().all(|(_, spec)| spec.method() == MethodId::Legr));
+        assert_eq!(s.len(), 720);
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end behaviour of every compression method: each must actually
+//! reduce parameters near its HP2 target while the fine-tuned model keeps
+//! usable accuracy.
+
+use automc_compress::{apply_strategy, ExecConfig, Metrics, StrategySpec};
+use automc_data::{DatasetSpec, ImageSet, SyntheticKind};
+use automc_models::surgery::Criterion;
+use automc_models::train::{train, AuxKind, Auxiliary, TrainConfig};
+use automc_models::{resnet, vgg, ConvNet};
+use automc_tensor::{rng_from_seed, Rng};
+use std::sync::OnceLock;
+
+struct Fixture {
+    resnet: ConvNet,
+    vgg: ConvNet,
+    train_set: ImageSet,
+    eval_set: ImageSet,
+    resnet_acc: f32,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = rng_from_seed(7001);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 400,
+            test: 200,
+            noise: 0.25,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut r = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut r,
+            &train_set,
+            &TrainConfig { epochs: 8.0, ..TrainConfig::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        let mut v = vgg(13, 8, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut v,
+            &train_set,
+            &TrainConfig { epochs: 8.0, ..TrainConfig::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        let resnet_acc = Metrics::measure(&mut r, &eval_set).acc;
+        Fixture { resnet: r, vgg: v, train_set, eval_set, resnet_acc }
+    })
+}
+
+fn cfg() -> ExecConfig {
+    ExecConfig { pretrain_epochs: 8.0, ..ExecConfig::default() }
+}
+
+/// Apply `spec` to a clone of the fixture model; return (pr, acc).
+/// Also asserts the invariant that compression never *increases* FLOPs.
+fn run(spec: &StrategySpec, use_vgg: bool, rng: &mut Rng) -> (f32, f32) {
+    let fix = fixture();
+    let base = if use_vgg { &fix.vgg } else { &fix.resnet };
+    let mut model = base.clone_net();
+    let before = model.param_count();
+    let flops_before = model.flops();
+    apply_strategy(spec, &mut model, &fix.train_set, &cfg(), rng);
+    let m = Metrics::measure(&mut model, &fix.eval_set);
+    assert!(
+        m.flops <= flops_before,
+        "compression must not raise FLOPs: {} -> {} ({spec})",
+        flops_before,
+        m.flops
+    );
+    (1.0 - m.params as f32 / before as f32, m.acc)
+}
+
+#[test]
+fn lma_reduces_and_recovers() {
+    let mut rng = rng_from_seed(7010);
+    let spec = StrategySpec::Lma { ft_epochs: 0.3, ratio: 0.2, temperature: 3.0, alpha: 0.5 };
+    let (pr, acc) = run(&spec, false, &mut rng);
+    assert!((0.1..=0.35).contains(&pr), "PR {pr} should approximate ratio 0.2");
+    assert!(acc > 0.5, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn legr_reduces_and_recovers() {
+    let mut rng = rng_from_seed(7011);
+    let spec = StrategySpec::Legr {
+        ft_epochs: 0.3,
+        ratio: 0.2,
+        max_prune: 0.7,
+        evo_epochs: 0.4,
+        criterion: Criterion::L2Weight,
+    };
+    let (pr, acc) = run(&spec, false, &mut rng);
+    assert!((0.1..=0.35).contains(&pr), "PR {pr}");
+    assert!(acc > 0.5, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn ns_reduces_and_recovers() {
+    let mut rng = rng_from_seed(7012);
+    let spec = StrategySpec::Ns { ft_epochs: 0.4, ratio: 0.2, max_prune: 0.7 };
+    let (pr, acc) = run(&spec, false, &mut rng);
+    assert!((0.1..=0.35).contains(&pr), "PR {pr}");
+    assert!(acc > 0.5, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn sfp_reduces_and_recovers() {
+    let mut rng = rng_from_seed(7013);
+    let spec = StrategySpec::Sfp { ratio: 0.2, bp_epochs: 0.3, update_freq: 1 };
+    let (pr, acc) = run(&spec, false, &mut rng);
+    assert!((0.1..=0.35).contains(&pr), "PR {pr}");
+    assert!(acc > 0.5, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn hos_reduces_and_recovers() {
+    let mut rng = rng_from_seed(7014);
+    let spec = StrategySpec::Hos {
+        ft_epochs: 0.2,
+        ratio: 0.2,
+        global: 1,
+        criterion: Criterion::K34,
+        opt_epochs: 0.3,
+        mse_factor: 1.0,
+    };
+    let (pr, acc) = run(&spec, false, &mut rng);
+    assert!(pr > 0.08, "PR {pr}");
+    assert!(acc > 0.5, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn lfb_reduces_and_recovers_on_vgg() {
+    let mut rng = rng_from_seed(7015);
+    let spec =
+        StrategySpec::Lfb { ft_epochs: 0.3, ratio: 0.2, aux_factor: 1.0, aux_loss: AuxKind::Ce };
+    let (pr, acc) = run(&spec, true, &mut rng);
+    assert!(pr > 0.08, "PR {pr}");
+    assert!(acc > 0.4, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn lfb_runs_on_resnet_too() {
+    let mut rng = rng_from_seed(7016);
+    let spec =
+        StrategySpec::Lfb { ft_epochs: 0.2, ratio: 0.12, aux_factor: 0.5, aux_loss: AuxKind::Mse };
+    let (pr, acc) = run(&spec, false, &mut rng);
+    assert!(pr > 0.03, "PR {pr}");
+    assert!(acc > 0.4, "accuracy collapsed to {acc}");
+}
+
+#[test]
+fn all_hos_global_schemes_run() {
+    let mut rng = rng_from_seed(7017);
+    for global in 0..3 {
+        let spec = StrategySpec::Hos {
+            ft_epochs: 0.1,
+            ratio: 0.12,
+            global,
+            criterion: Criterion::SkewKur,
+            opt_epochs: 0.3,
+            mse_factor: 3.0,
+        };
+        let (pr, _) = run(&spec, false, &mut rng);
+        assert!(pr > 0.0, "global scheme {global} removed nothing");
+    }
+}
+
+#[test]
+fn sequential_strategies_compound_reduction() {
+    // The core premise of AutoMC's search space: strategies compose.
+    let fix = fixture();
+    let mut rng = rng_from_seed(7018);
+    let mut model = fix.resnet.clone_net();
+    let before = model.param_count();
+    let s1 = StrategySpec::Ns { ft_epochs: 0.2, ratio: 0.2, max_prune: 0.7 };
+    let s2 = StrategySpec::Sfp { ratio: 0.2, bp_epochs: 0.2, update_freq: 1 };
+    apply_strategy(&s1, &mut model, &fix.train_set, &cfg(), &mut rng);
+    let mid = model.param_count();
+    apply_strategy(&s2, &mut model, &fix.train_set, &cfg(), &mut rng);
+    let after = model.param_count();
+    assert!(mid < before);
+    assert!(after < mid);
+    let m = Metrics::measure(&mut model, &fix.eval_set);
+    assert!(
+        m.acc > 0.4,
+        "compound compression collapsed accuracy to {} (baseline {})",
+        m.acc,
+        fix.resnet_acc
+    );
+}

@@ -1,0 +1,63 @@
+//! Property-based tests of the strategy space and scheme metrics.
+
+use automc_compress::{Metrics, MethodId, StrategySpace};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_strategy_id_resolves(id in 0usize..4230) {
+        let space = StrategySpace::full();
+        let spec = space.spec(id);
+        // Display, settings, and accessors never panic and are coherent.
+        let text = format!("{spec}");
+        prop_assert!(text.contains(spec.method().label()));
+        let settings = spec.hyper_settings();
+        prop_assert!(!settings.is_empty());
+        prop_assert!(spec.ratio() > 0.0 && spec.ratio() < 0.5);
+    }
+
+    #[test]
+    fn method_subspaces_are_consistent(mask in 1u8..63) {
+        let methods: Vec<MethodId> = MethodId::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &m)| m)
+            .collect();
+        let space = StrategySpace::for_methods(&methods);
+        prop_assert!(!space.is_empty());
+        for (_, spec) in space.iter() {
+            prop_assert!(methods.contains(&spec.method()));
+        }
+        // Size is the sum of per-method sizes.
+        let total: usize = methods
+            .iter()
+            .map(|&m| StrategySpace::for_methods(&[m]).len())
+            .sum();
+        prop_assert_eq!(space.len(), total);
+    }
+
+    #[test]
+    fn metric_rates_are_consistent(
+        base_params in 100usize..1_000_000,
+        keep_frac in 0.05f32..1.0,
+        base_acc in 0.05f32..1.0,
+        acc_delta in -0.5f32..0.5,
+    ) {
+        let base = Metrics { params: base_params, flops: base_params as u64 * 2, acc: base_acc };
+        let new_params = ((base_params as f32) * keep_frac) as usize;
+        let new_acc = (base_acc + acc_delta).clamp(0.0, 1.0);
+        let m = Metrics { params: new_params, flops: new_params as u64 * 2, acc: new_acc };
+        let pr = m.pr(&base);
+        prop_assert!((0.0..=1.0).contains(&pr), "pr {pr}");
+        // PR and FR agree when flops scale with params.
+        prop_assert!((pr - m.fr(&base)).abs() < 1e-3);
+        // AR is bounded below by -1 (accuracy cannot go below zero).
+        prop_assert!(m.ar(&base) >= -1.0 - 1e-6);
+        // Identity: no compression, no change.
+        prop_assert!(base.pr(&base).abs() < 1e-6);
+        prop_assert!(base.ar(&base).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,174 @@
+//! Multi-objective evolutionary search (the paper's EA baseline [6]):
+//! NSGA-II-style selection over whole compression schemes with one-point
+//! crossover and replace/insert/delete mutation.
+
+use crate::context::SearchContext;
+use crate::history::{EvalRecord, SearchHistory};
+use crate::pareto;
+use automc_compress::Scheme;
+use automc_tensor::Rng;
+use rand::Rng as _;
+
+/// EA knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvolutionConfig {
+    /// Population capacity.
+    pub population: usize,
+    /// Per-position replacement probability during mutation.
+    pub mutation_rate: f32,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig { population: 8, mutation_rate: 0.3 }
+    }
+}
+
+struct Individual {
+    scheme: Scheme,
+    ar: f32,
+    pr: f32,
+}
+
+/// Run the EA until the budget is exhausted.
+pub fn evolution_search(
+    ctx: &SearchContext<'_>,
+    cfg: &EvolutionConfig,
+    rng: &mut Rng,
+) -> SearchHistory {
+    let mut history = SearchHistory::new("Evolution");
+    let mut spent = 0u64;
+    let mut population: Vec<Individual> = Vec::new();
+
+    let evaluate = |scheme: Scheme, spent: &mut u64, history: &mut SearchHistory, rng: &mut Rng| -> Individual {
+        let (_, outcome) = automc_compress::execute_scheme(
+            ctx.base_model,
+            &ctx.base_metrics,
+            &scheme,
+            ctx.space,
+            ctx.search_train,
+            ctx.eval_set,
+            &ctx.exec,
+            rng,
+        );
+        *spent += outcome.cost.units();
+        history
+            .records
+            .push(EvalRecord::from_outcome(scheme.clone(), &outcome, *spent));
+        Individual { scheme, ar: outcome.ar, pr: outcome.pr }
+    };
+
+    // Seed population.
+    while population.len() < cfg.population && spent < ctx.budget.units {
+        let len = rng.gen_range(1..=ctx.max_len);
+        let scheme: Scheme = (0..len).map(|_| rng.gen_range(0..ctx.space.len())).collect();
+        population.push(evaluate(scheme, &mut spent, &mut history, rng));
+    }
+
+    while spent < ctx.budget.units && population.len() >= 2 {
+        // Binary tournament by Pareto rank then crowding.
+        let points: Vec<(f32, f32)> = population.iter().map(|i| (i.ar, i.pr)).collect();
+        let ranks = pareto::non_dominated_ranks(&points);
+        let tournament = |rng: &mut Rng| -> usize {
+            let a = rng.gen_range(0..population.len());
+            let b = rng.gen_range(0..population.len());
+            if ranks[a] <= ranks[b] {
+                a
+            } else {
+                b
+            }
+        };
+        let pa = tournament(rng);
+        let pb = tournament(rng);
+        // One-point crossover.
+        let (sa, sb) = (&population[pa].scheme, &population[pb].scheme);
+        let cut_a = rng.gen_range(0..=sa.len());
+        let cut_b = rng.gen_range(0..=sb.len());
+        let mut child: Scheme = sa[..cut_a].to_vec();
+        child.extend_from_slice(&sb[cut_b..]);
+        child.truncate(ctx.max_len);
+        // Mutation.
+        for slot in child.iter_mut() {
+            if rng.gen::<f32>() < cfg.mutation_rate {
+                *slot = rng.gen_range(0..ctx.space.len());
+            }
+        }
+        if child.len() < ctx.max_len && rng.gen::<f32>() < 0.2 {
+            child.push(rng.gen_range(0..ctx.space.len()));
+        }
+        if child.len() > 1 && rng.gen::<f32>() < 0.2 {
+            let drop = rng.gen_range(0..child.len());
+            child.remove(drop);
+        }
+        if child.is_empty() {
+            child.push(rng.gen_range(0..ctx.space.len()));
+        }
+        // Evaluate and insert; truncate by (rank, crowding).
+        let ind = evaluate(child, &mut spent, &mut history, rng);
+        population.push(ind);
+        if population.len() > cfg.population {
+            let points: Vec<(f32, f32)> = population.iter().map(|i| (i.ar, i.pr)).collect();
+            let ranks = pareto::non_dominated_ranks(&points);
+            // Crowding within each rank.
+            let mut keyed: Vec<(usize, f32, usize)> = Vec::new(); // (rank, -crowding, idx)
+            let max_rank = ranks.iter().copied().max().unwrap_or(0);
+            for r in 0..=max_rank {
+                let members: Vec<usize> =
+                    (0..population.len()).filter(|&i| ranks[i] == r).collect();
+                let crowd = pareto::crowding_distance(&points, &members);
+                for (k, &i) in members.iter().enumerate() {
+                    keyed.push((r, -crowd[k], i));
+                }
+            }
+            keyed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            let keep: Vec<usize> = keyed.iter().take(cfg.population).map(|k| k.2).collect();
+            let mut new_pop = Vec::with_capacity(cfg.population);
+            for (i, ind) in population.drain(..).enumerate() {
+                if keep.contains(&i) {
+                    new_pop.push(ind);
+                }
+            }
+            population = new_pop;
+        }
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SearchBudget, SearchContext};
+    use automc_compress::{ExecConfig, Metrics, StrategySpace};
+    use automc_data::{DatasetSpec, SyntheticKind};
+    use automc_models::resnet;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn evolution_search_runs_and_improves_coverage() {
+        let mut rng = rng_from_seed(330);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 100,
+            test: 60,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let base_metrics = Metrics::measure(&mut base, &eval_set);
+        let space = StrategySpace::full();
+        let ctx = SearchContext {
+            space: &space,
+            base_model: &base,
+            base_metrics,
+            search_train: &train_set,
+            eval_set: &eval_set,
+            exec: ExecConfig { pretrain_epochs: 2.0, ..Default::default() },
+            max_len: 3,
+            gamma: 0.2,
+            budget: SearchBudget::new(6_000),
+        };
+        let history = evolution_search(&ctx, &EvolutionConfig::default(), &mut rng);
+        assert!(history.records.len() >= 4, "EA should evaluate several schemes");
+        assert!(history.records.iter().all(|r| !r.scheme.is_empty()));
+        assert!(history.records.iter().all(|r| r.scheme.len() <= 3));
+    }
+}

@@ -1,0 +1,260 @@
+//! `F_mo` — the multi-objective step evaluator (paper Fig. 3, Eq. 4–5).
+//!
+//! An RNN encodes the evaluated scheme `seq = (s₁ → … → s_t)` from the
+//! high-level strategy embeddings of Algorithm 1; an MLP head takes the
+//! sequence encoding, a candidate strategy's embedding, and the current
+//! model state `(accuracy, parameter fraction)` and predicts the step
+//! deltas `(AR_step, PR_step)` the candidate would produce. It is trained
+//! online on the real deltas of every evaluation performed so far (Eq. 5).
+
+use automc_compress::{Scheme, StrategyId};
+use automc_tensor::nn::{Layer, Linear, Relu, Rnn, Sequential};
+use automc_tensor::optim::{Adam, AdamConfig, Optimizer};
+use automc_tensor::{loss, Rng, Tensor};
+use rand::seq::SliceRandom;
+
+/// One observed step: `(seq, s, state) → (AR_step, PR_step)`.
+#[derive(Debug, Clone)]
+pub struct StepSample {
+    /// The prefix scheme.
+    pub seq: Scheme,
+    /// The strategy appended to it.
+    pub cand: StrategyId,
+    /// `(A(seq[M]), P(seq[M]) / P(M))` before the step.
+    pub state: [f32; 2],
+    /// Observed accuracy-change rate.
+    pub ar_step: f32,
+    /// Observed parameter-reduction rate.
+    pub pr_step: f32,
+}
+
+/// The multi-objective evaluator.
+pub struct Fmo {
+    rnn: Rnn,
+    head: Sequential,
+    opt: Adam,
+    emb: Vec<Vec<f32>>,
+    emb_dim: usize,
+    hidden: usize,
+    /// Replay buffer of every observed step.
+    pub samples: Vec<StepSample>,
+}
+
+impl Fmo {
+    /// Build from pre-learned strategy embeddings (Algorithm 1 output).
+    pub fn new(embeddings: Vec<Vec<f32>>, rng: &mut Rng) -> Self {
+        let emb_dim = embeddings.first().map_or(8, |e| e.len());
+        let hidden = 32;
+        let rnn = Rnn::new(emb_dim, hidden, rng);
+        let head = Sequential::new()
+            .push(Linear::new(hidden + emb_dim + 2, 32, rng))
+            .push(Relu::new())
+            .push(Linear::new(32, 2, rng));
+        Fmo {
+            rnn,
+            head,
+            opt: Adam::new(AdamConfig::default()),
+            emb: embeddings,
+            emb_dim,
+            hidden,
+            samples: Vec::new(),
+        }
+    }
+
+    fn embedding_row(&self, sid: StrategyId) -> Tensor {
+        Tensor::from_slice(&[1, self.emb_dim], &self.emb[sid])
+    }
+
+    /// Encode a scheme prefix (empty scheme → zero state).
+    fn encode(&mut self, seq: &Scheme) -> Tensor {
+        self.rnn.reset();
+        let mut h = self.rnn.init_state(1);
+        for &sid in seq {
+            let x = self.embedding_row(sid);
+            h = self.rnn.step(&x, &h);
+        }
+        h
+    }
+
+    /// Predict `(AR_step, PR_step)` for every candidate appended to `seq`.
+    pub fn predict_batch(
+        &mut self,
+        seq: &Scheme,
+        state: [f32; 2],
+        candidates: &[StrategyId],
+    ) -> Vec<(f32, f32)> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let h = self.encode(seq);
+        self.rnn.reset();
+        let width = self.hidden + self.emb_dim + 2;
+        let mut x = Tensor::zeros(&[candidates.len(), width]);
+        for (row, &cand) in candidates.iter().enumerate() {
+            let dst = x.row_mut(row);
+            dst[..self.hidden].copy_from_slice(h.row(0));
+            dst[self.hidden..self.hidden + self.emb_dim].copy_from_slice(&self.emb[cand]);
+            dst[self.hidden + self.emb_dim] = state[0];
+            dst[self.hidden + self.emb_dim + 1] = state[1];
+        }
+        let y = self.head.forward(&x, false);
+        (0..candidates.len())
+            .map(|i| (y.row(i)[0], y.row(i)[1]))
+            .collect()
+    }
+
+    /// Record an observed step for future training.
+    pub fn observe(&mut self, sample: StepSample) {
+        self.samples.push(sample);
+    }
+
+    /// Train on the replay buffer (Eq. 5). Returns the mean squared error
+    /// of the final epoch.
+    pub fn train(&mut self, epochs: usize, rng: &mut Rng) -> f32 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            let mut order: Vec<usize> = (0..self.samples.len()).collect();
+            order.shuffle(rng);
+            let mut total = 0.0f32;
+            for &i in &order {
+                let sample = self.samples[i].clone();
+                total += self.train_one(&sample);
+            }
+            last = total / order.len() as f32;
+        }
+        last
+    }
+
+    fn train_one(&mut self, s: &StepSample) -> f32 {
+        // Forward: RNN (train) → head (train).
+        self.rnn.reset();
+        let mut h = self.rnn.init_state(1);
+        for &sid in &s.seq {
+            let x = self.embedding_row(sid);
+            h = self.rnn.step(&x, &h);
+        }
+        let width = self.hidden + self.emb_dim + 2;
+        let mut x = Tensor::zeros(&[1, width]);
+        {
+            let dst = x.row_mut(0);
+            dst[..self.hidden].copy_from_slice(h.row(0));
+            dst[self.hidden..self.hidden + self.emb_dim].copy_from_slice(&self.emb[s.cand]);
+            dst[self.hidden + self.emb_dim] = s.state[0];
+            dst[self.hidden + self.emb_dim + 1] = s.state[1];
+        }
+        let pred = self.head.forward(&x, true);
+        let target = Tensor::from_slice(&[1, 2], &[s.ar_step, s.pr_step]);
+        let (mse, grad) = loss::mse(&pred, &target);
+        let grad_in = self.head.backward(&grad);
+        // Route the sequence-encoding part of the gradient through the RNN.
+        if !s.seq.is_empty() {
+            let gh = Tensor::from_slice(&[1, self.hidden], &grad_in.row(0)[..self.hidden]);
+            let mut slots: Vec<Option<Tensor>> = vec![None; s.seq.len()];
+            *slots.last_mut().expect("non-empty") = Some(gh);
+            let _ = self.rnn.backward_through_time(&slots);
+        } else {
+            self.rnn.reset();
+        }
+        // Joint step over RNN + head parameters.
+        let mut params = self.rnn.params_mut();
+        params.extend(self.head.params_mut());
+        self.opt.step(&mut params);
+        mse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_tensor::rng_from_seed;
+
+    fn toy_embeddings(n: usize, dim: usize, rng: &mut Rng) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| Tensor::randn(&[dim], 1.0, rng).into_vec())
+            .collect()
+    }
+
+    #[test]
+    fn predict_shapes() {
+        let mut rng = rng_from_seed(300);
+        let emb = toy_embeddings(10, 8, &mut rng);
+        let mut fmo = Fmo::new(emb, &mut rng);
+        let preds = fmo.predict_batch(&vec![1, 2], [0.8, 0.9], &[0, 3, 7]);
+        assert_eq!(preds.len(), 3);
+        assert!(preds.iter().all(|(a, p)| a.is_finite() && p.is_finite()));
+        assert!(fmo.predict_batch(&vec![], [0.8, 1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn training_fits_structured_targets() {
+        // Candidates 0..5 yield PR_step = 0.1·id — learnable from the
+        // embedding alone.
+        let mut rng = rng_from_seed(301);
+        let emb = toy_embeddings(6, 8, &mut rng);
+        let mut fmo = Fmo::new(emb, &mut rng);
+        for id in 0..6usize {
+            for _ in 0..4 {
+                fmo.observe(StepSample {
+                    seq: vec![],
+                    cand: id,
+                    state: [0.8, 1.0],
+                    ar_step: -0.05,
+                    pr_step: 0.1 * id as f32,
+                });
+            }
+        }
+        let first = fmo.train(1, &mut rng);
+        let last = fmo.train(60, &mut rng);
+        assert!(last < first * 0.5, "loss should halve: {first} → {last}");
+        let preds = fmo.predict_batch(&vec![], [0.8, 1.0], &[0, 5]);
+        assert!(
+            preds[1].1 > preds[0].1,
+            "predicted PR_step must order candidates: {preds:?}"
+        );
+    }
+
+    #[test]
+    fn sequence_context_affects_prediction() {
+        let mut rng = rng_from_seed(302);
+        let emb = toy_embeddings(6, 8, &mut rng);
+        let mut fmo = Fmo::new(emb, &mut rng);
+        // The same candidate yields different PR depending on the prefix.
+        for _ in 0..30 {
+            fmo.observe(StepSample {
+                seq: vec![],
+                cand: 0,
+                state: [0.8, 1.0],
+                ar_step: 0.0,
+                pr_step: 0.4,
+            });
+            fmo.observe(StepSample {
+                seq: vec![1, 2],
+                cand: 0,
+                state: [0.8, 1.0],
+                ar_step: 0.0,
+                pr_step: 0.05,
+            });
+        }
+        fmo.train(40, &mut rng);
+        let fresh = fmo.predict_batch(&vec![], [0.8, 1.0], &[0])[0].1;
+        let after = fmo.predict_batch(&vec![1, 2], [0.8, 1.0], &[0])[0].1;
+        assert!(
+            fresh > after + 0.1,
+            "prefix must matter: fresh {fresh} vs after {after}"
+        );
+    }
+
+    #[test]
+    fn observe_grows_replay_buffer() {
+        let mut rng = rng_from_seed(303);
+        let emb = toy_embeddings(3, 4, &mut rng);
+        let mut fmo = Fmo::new(emb, &mut rng);
+        assert_eq!(fmo.samples.len(), 0);
+        fmo.observe(StepSample { seq: vec![0], cand: 1, state: [0.5, 0.5], ar_step: 0.0, pr_step: 0.1 });
+        assert_eq!(fmo.samples.len(), 1);
+        assert_eq!(fmo.train(0, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Search-history logging: every scheme evaluation any algorithm performs
+//! is recorded here. Tables 2–3 and Figures 4–6 are rendered from these
+//! logs, and the bench harness serialises them to a JSON cache.
+
+use crate::pareto;
+use automc_compress::{Scheme, SchemeOutcome};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated scheme.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// The strategy-id sequence.
+    pub scheme: Scheme,
+    /// `PR` vs the base model.
+    pub pr: f32,
+    /// `FR` vs the base model.
+    pub fr: f32,
+    /// `AR` vs the base model.
+    pub ar: f32,
+    /// Final accuracy.
+    pub acc: f32,
+    /// Final parameter count.
+    pub params: usize,
+    /// Final FLOPs.
+    pub flops: u64,
+    /// Cumulative budget units spent when this evaluation finished.
+    pub cost_so_far: u64,
+}
+
+impl EvalRecord {
+    /// Build from an execution outcome.
+    pub fn from_outcome(scheme: Scheme, out: &SchemeOutcome, cost_so_far: u64) -> Self {
+        EvalRecord {
+            scheme,
+            pr: out.pr,
+            fr: out.fr,
+            ar: out.ar,
+            acc: out.metrics.acc,
+            params: out.metrics.params,
+            flops: out.metrics.flops,
+            cost_so_far,
+        }
+    }
+}
+
+/// The full log of one search run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SearchHistory {
+    /// Algorithm name (for reporting).
+    pub algorithm: String,
+    /// Every evaluation, in execution order.
+    pub records: Vec<EvalRecord>,
+}
+
+impl SearchHistory {
+    /// Empty history for an algorithm.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        SearchHistory { algorithm: algorithm.into(), records: Vec::new() }
+    }
+
+    /// Total budget spent (cost of the last record).
+    pub fn total_cost(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.cost_so_far)
+    }
+
+    /// Indices of Pareto-optimal records on `[AR, PR]` among those meeting
+    /// the target `PR ≥ γ` (the paper's final-output rule).
+    pub fn pareto_indices(&self, gamma: f32) -> Vec<usize> {
+        let feasible: Vec<usize> = (0..self.records.len())
+            .filter(|&i| self.records[i].pr >= gamma)
+            .collect();
+        let points: Vec<(f32, f32)> =
+            feasible.iter().map(|&i| (self.records[i].ar, self.records[i].pr)).collect();
+        pareto::pareto_front(&points)
+            .into_iter()
+            .map(|k| feasible[k])
+            .collect()
+    }
+
+    /// The Pareto-optimal record with the highest accuracy (the "best
+    /// compression scheme" the paper reports), if any is feasible.
+    pub fn best(&self, gamma: f32) -> Option<&EvalRecord> {
+        self.pareto_indices(gamma)
+            .into_iter()
+            .map(|i| &self.records[i])
+            .max_by(|a, b| a.acc.total_cmp(&b.acc))
+    }
+
+    /// `(cost, best feasible accuracy so far)` curve — Fig. 4's
+    /// accuracy-vs-search-time series.
+    pub fn best_acc_curve(&self, gamma: f32) -> Vec<(u64, f32)> {
+        let mut best = f32::NEG_INFINITY;
+        let mut curve = Vec::new();
+        for r in &self.records {
+            if r.pr >= gamma && r.acc > best {
+                best = r.acc;
+            }
+            if best.is_finite() {
+                curve.push((r.cost_so_far, best));
+            }
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(pr: f32, ar: f32, acc: f32, cost: u64) -> EvalRecord {
+        EvalRecord { scheme: vec![], pr, fr: pr, ar, acc, params: 100, flops: 100, cost_so_far: cost }
+    }
+
+    #[test]
+    fn pareto_respects_gamma() {
+        let mut h = SearchHistory::new("test");
+        h.records.push(rec(0.1, 0.5, 0.9, 1)); // infeasible (pr < γ)
+        h.records.push(rec(0.4, 0.0, 0.8, 2));
+        h.records.push(rec(0.5, -0.1, 0.7, 3));
+        let front = h.pareto_indices(0.3);
+        assert!(!front.contains(&0));
+        assert!(front.contains(&1));
+        assert!(front.contains(&2));
+    }
+
+    #[test]
+    fn best_is_highest_accuracy_on_front() {
+        let mut h = SearchHistory::new("test");
+        h.records.push(rec(0.4, 0.02, 0.82, 1));
+        h.records.push(rec(0.35, 0.05, 0.84, 2));
+        h.records.push(rec(0.6, -0.2, 0.64, 3));
+        let best = h.best(0.3).unwrap();
+        assert!((best.acc - 0.84).abs() < 1e-6);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let mut h = SearchHistory::new("test");
+        h.records.push(rec(0.4, -0.1, 0.7, 1));
+        h.records.push(rec(0.4, -0.3, 0.5, 2));
+        h.records.push(rec(0.4, 0.1, 0.9, 3));
+        let curve = h.best_acc_curve(0.3);
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[1].1 >= w[0].1));
+        assert!((curve[2].1 - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_history_has_no_best() {
+        let h = SearchHistory::new("test");
+        assert!(h.best(0.3).is_none());
+        assert_eq!(h.total_cost(), 0);
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut h = SearchHistory::new("roundtrip");
+        h.records.push(rec(0.4, 0.02, 0.82, 7));
+        let text = serde_json::to_string(&h).unwrap();
+        let back: SearchHistory = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.algorithm, "roundtrip");
+        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records[0].cost_so_far, 7);
+    }
+}

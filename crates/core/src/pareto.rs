@@ -1,0 +1,134 @@
+//! Pareto-front utilities for the two-objective `[AR, PR]` optimisation.
+
+/// `a` dominates `b` when it is no worse on both objectives and strictly
+/// better on at least one (both objectives maximised).
+pub fn dominates(a: (f32, f32), b: (f32, f32)) -> bool {
+    a.0 >= b.0 && a.1 >= b.1 && (a.0 > b.0 || a.1 > b.1)
+}
+
+/// Indices of the Pareto-optimal points (maximising both coordinates).
+pub fn pareto_front(points: &[(f32, f32)]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, &p) in points.iter().enumerate() {
+        for (j, &q) in points.iter().enumerate() {
+            if i != j && (dominates(q, p) || (q == p && j < i)) {
+                continue 'outer; // dominated, or duplicate kept once
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// Fast non-dominated sorting (NSGA-II): returns the front index of every
+/// point (0 = non-dominated).
+pub fn non_dominated_ranks(points: &[(f32, f32)]) -> Vec<usize> {
+    let n = points.len();
+    let mut dominated_by = vec![0usize; n]; // count of dominators
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && dominates(points[i], points[j]) {
+                dominates_list[i].push(j);
+            }
+        }
+    }
+    for (i, doms) in dominates_list.iter().enumerate() {
+        let _ = i;
+        for &j in doms {
+            dominated_by[j] += 1;
+        }
+    }
+    let mut rank = vec![usize::MAX; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut level = 0usize;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            rank[i] = level;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        level += 1;
+    }
+    rank
+}
+
+/// Crowding distance within one front (NSGA-II diversity measure).
+pub fn crowding_distance(points: &[(f32, f32)], members: &[usize]) -> Vec<f32> {
+    let m = members.len();
+    let mut dist = vec![0.0f32; m];
+    if m <= 2 {
+        return vec![f32::INFINITY; m];
+    }
+    for obj in 0..2 {
+        let get = |i: usize| if obj == 0 { points[members[i]].0 } else { points[members[i]].1 };
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| get(a).total_cmp(&get(b)));
+        dist[order[0]] = f32::INFINITY;
+        dist[order[m - 1]] = f32::INFINITY;
+        let span = (get(order[m - 1]) - get(order[0])).abs().max(1e-12);
+        for w in 1..m - 1 {
+            dist[order[w]] += (get(order[w + 1]) - get(order[w - 1])).abs() / span;
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates((1.0, 1.0), (0.0, 0.0)));
+        assert!(dominates((1.0, 0.0), (0.0, 0.0)));
+        assert!(!dominates((1.0, 0.0), (0.0, 1.0)));
+        assert!(!dominates((1.0, 1.0), (1.0, 1.0)), "equal points do not dominate");
+    }
+
+    #[test]
+    fn front_excludes_dominated() {
+        let pts = vec![(0.0, 1.0), (1.0, 0.0), (0.5, 0.5), (0.2, 0.2)];
+        let front = pareto_front(&pts);
+        assert_eq!(front, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_kept_once() {
+        let pts = vec![(1.0, 1.0), (1.0, 1.0)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn ranks_are_layered() {
+        let pts = vec![(2.0, 2.0), (1.0, 1.0), (0.0, 0.0), (2.5, 1.5)];
+        let ranks = non_dominated_ranks(&pts);
+        assert_eq!(ranks[0], 0);
+        assert_eq!(ranks[3], 0);
+        assert_eq!(ranks[1], 1);
+        assert_eq!(ranks[2], 2);
+    }
+
+    #[test]
+    fn crowding_boundary_is_infinite() {
+        let pts = vec![(0.0, 1.0), (0.5, 0.5), (1.0, 0.0)];
+        let members = vec![0, 1, 2];
+        let d = crowding_distance(&pts, &members);
+        assert!(d[0].is_infinite());
+        assert!(d[2].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[(1.0, 2.0)]), vec![0]);
+        assert_eq!(non_dominated_ranks(&[]), Vec::<usize>::new());
+    }
+}

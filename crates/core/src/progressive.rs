@@ -1,0 +1,254 @@
+//! Algorithm 2 — AutoMC's progressive search.
+//!
+//! The search space is explored *one strategy at a time*: every evaluated
+//! scheme keeps its compressed model snapshot, each round the evaluator
+//! `F_mo` scores all unexplored one-step extensions of a sampled set of
+//! evaluated schemes (Eq. 4), the predicted-Pareto-optimal extensions are
+//! executed for real (costing a *single* strategy application thanks to
+//! the cached prefix), and `F_mo` is retrained on the observed deltas
+//! (Eq. 5). Newly evaluated schemes join the history and expand the
+//! frontier for the next round.
+
+use crate::context::SearchContext;
+use crate::fmo::{Fmo, StepSample};
+use crate::history::{EvalRecord, SearchHistory};
+use crate::pareto;
+use automc_compress::{apply_strategy, Metrics, Scheme, StrategyId};
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+use rand::seq::SliceRandom;
+use std::collections::HashSet;
+
+/// Knobs of the progressive search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoMcConfig {
+    /// Schemes sampled from the history per round (`H_sub`).
+    pub sample_schemes: usize,
+    /// Maximum real evaluations per round (cap on `|ParetoO|`).
+    pub evals_per_round: usize,
+    /// Candidates scored per sampled scheme (0 = the whole space).
+    pub candidate_sample: usize,
+    /// `F_mo` training epochs per round.
+    pub fmo_train_epochs: usize,
+}
+
+impl Default for AutoMcConfig {
+    fn default() -> Self {
+        AutoMcConfig {
+            sample_schemes: 6,
+            evals_per_round: 4,
+            candidate_sample: 512,
+            fmo_train_epochs: 3,
+        }
+    }
+}
+
+/// An evaluated scheme kept alive for extension.
+struct Node {
+    scheme: Scheme,
+    model: ConvNet,
+    metrics: Metrics,
+    explored: HashSet<StrategyId>,
+}
+
+/// Run AutoMC's progressive search until the budget is exhausted.
+///
+/// `embeddings` are the Algorithm 1 strategy embeddings (ablations pass
+/// differently-learned ones). Returns the full evaluation history; the
+/// Pareto-optimal schemes with `PR ≥ γ` are the paper's final output
+/// (`SearchHistory::pareto_indices`).
+pub fn progressive_search(
+    ctx: &SearchContext<'_>,
+    embeddings: Vec<Vec<f32>>,
+    cfg: &AutoMcConfig,
+    rng: &mut Rng,
+) -> SearchHistory {
+    assert_eq!(embeddings.len(), ctx.space.len(), "one embedding per strategy");
+    let mut fmo = Fmo::new(embeddings, rng);
+    let mut history = SearchHistory::new("AutoMC");
+    let mut nodes: Vec<Node> = vec![Node {
+        scheme: Vec::new(),
+        model: ctx.base_model.clone_net(),
+        metrics: ctx.base_metrics,
+        explored: HashSet::new(),
+    }];
+    let mut spent = 0u64;
+
+    while spent < ctx.budget.units {
+        // ---- Sample H_sub: Pareto-front nodes plus random extras. ------
+        let extendable: Vec<usize> = (0..nodes.len())
+            .filter(|&i| ctx.can_extend(nodes[i].scheme.len()))
+            .filter(|&i| nodes[i].explored.len() < ctx.space.len())
+            .collect();
+        if extendable.is_empty() {
+            break;
+        }
+        let points: Vec<(f32, f32)> = extendable
+            .iter()
+            .map(|&i| {
+                let m = &nodes[i].metrics;
+                (m.acc, -(m.params as f32))
+            })
+            .collect();
+        let front = pareto::pareto_front(&points);
+        let mut picked: Vec<usize> = front.iter().map(|&k| extendable[k]).collect();
+        picked.truncate(cfg.sample_schemes);
+        if picked.len() < cfg.sample_schemes {
+            let mut rest: Vec<usize> = extendable
+                .iter()
+                .copied()
+                .filter(|i| !picked.contains(i))
+                .collect();
+            rest.shuffle(rng);
+            picked.extend(rest.into_iter().take(cfg.sample_schemes - picked.len()));
+        }
+
+        // ---- Score one-step extensions with F_mo (Eq. 4). --------------
+        // Candidate tuples: (node index, strategy, ACC_pred, PAR_pred).
+        let mut tuples: Vec<(usize, StrategyId, f32, f32)> = Vec::new();
+        for &ni in &picked {
+            let node_state = [
+                nodes[ni].metrics.acc,
+                nodes[ni].metrics.params as f32 / ctx.base_metrics.params.max(1) as f32,
+            ];
+            let mut cands: Vec<StrategyId> = (0..ctx.space.len())
+                .filter(|s| !nodes[ni].explored.contains(s))
+                .collect();
+            if cfg.candidate_sample > 0 && cands.len() > cfg.candidate_sample {
+                cands.shuffle(rng);
+                cands.truncate(cfg.candidate_sample);
+            }
+            let preds = fmo.predict_batch(&nodes[ni].scheme, node_state, &cands);
+            for (c, (ar_hat, pr_hat)) in cands.into_iter().zip(preds) {
+                let acc_pred = nodes[ni].metrics.acc * (1.0 + ar_hat);
+                let par_pred = nodes[ni].metrics.params as f32 * (1.0 - pr_hat);
+                tuples.push((ni, c, acc_pred, par_pred));
+            }
+        }
+        if tuples.is_empty() {
+            break;
+        }
+
+        // ---- ParetoO: maximise ACC, minimise PAR. -----------------------
+        let objective: Vec<(f32, f32)> =
+            tuples.iter().map(|t| (t.2, -t.3)).collect();
+        let mut chosen = pareto::pareto_front(&objective);
+        chosen.shuffle(rng);
+        chosen.truncate(cfg.evals_per_round);
+
+        // ---- Evaluate the chosen extensions for real. -------------------
+        for &ti in &chosen {
+            if spent >= ctx.budget.units {
+                break;
+            }
+            let (ni, cand, _, _) = tuples[ti];
+            let prev_metrics = nodes[ni].metrics;
+            let mut model = nodes[ni].model.clone_net();
+            let cost = apply_strategy(
+                ctx.space.spec(cand),
+                &mut model,
+                ctx.search_train,
+                &ctx.exec,
+                rng,
+            );
+            let metrics = Metrics::measure(&mut model, ctx.eval_set);
+            spent += cost.units() + ctx.eval_set.len() as u64;
+            nodes[ni].explored.insert(cand);
+
+            let mut scheme = nodes[ni].scheme.clone();
+            scheme.push(cand);
+            // Observe the step for F_mo (Eq. 5 training data).
+            fmo.observe(StepSample {
+                seq: nodes[ni].scheme.clone(),
+                cand,
+                state: [
+                    prev_metrics.acc,
+                    prev_metrics.params as f32 / ctx.base_metrics.params.max(1) as f32,
+                ],
+                ar_step: metrics.ar(&prev_metrics),
+                pr_step: metrics.pr(&prev_metrics),
+            });
+            // Record against the base model.
+            history.records.push(EvalRecord {
+                scheme: scheme.clone(),
+                pr: metrics.pr(&ctx.base_metrics),
+                fr: metrics.fr(&ctx.base_metrics),
+                ar: metrics.ar(&ctx.base_metrics),
+                acc: metrics.acc,
+                params: metrics.params,
+                flops: metrics.flops,
+                cost_so_far: spent,
+            });
+            nodes.push(Node { scheme, model, metrics, explored: HashSet::new() });
+        }
+
+        // ---- Retrain F_mo on everything observed so far (Eq. 5). -------
+        fmo.train(cfg.fmo_train_epochs, rng);
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SearchBudget, SearchContext};
+    use automc_compress::{ExecConfig, StrategySpace};
+    use automc_data::{DatasetSpec, SyntheticKind};
+    use automc_models::resnet;
+    use automc_models::train::{train, Auxiliary, TrainConfig};
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn progressive_search_finds_feasible_schemes() {
+        let mut rng = rng_from_seed(310);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 160,
+            test: 80,
+            noise: 0.25,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut base,
+            &train_set,
+            &TrainConfig { epochs: 4.0, ..Default::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        let base_metrics = Metrics::measure(&mut base, &eval_set);
+        let space = StrategySpace::full();
+        let ctx = SearchContext {
+            space: &space,
+            base_model: &base,
+            base_metrics,
+            search_train: &train_set,
+            eval_set: &eval_set,
+            exec: ExecConfig { pretrain_epochs: 4.0, ..Default::default() },
+            max_len: 3,
+            gamma: 0.2,
+            budget: SearchBudget::new(8_000),
+        };
+        // Cheap random embeddings: the search must function even with
+        // uninformative priors (the ablations rely on this).
+        let emb: Vec<Vec<f32>> = (0..space.len())
+            .map(|i| vec![(i % 97) as f32 / 97.0, (i % 13) as f32 / 13.0, 0.5, 0.1])
+            .collect();
+        let cfg = AutoMcConfig { candidate_sample: 64, ..Default::default() };
+        let history = progressive_search(&ctx, emb, &cfg, &mut rng);
+        assert!(!history.records.is_empty(), "search evaluated nothing");
+        assert!(history.total_cost() >= ctx.budget.units.min(1));
+        // At least one scheme should achieve meaningful reduction.
+        assert!(
+            history.records.iter().any(|r| r.pr > 0.1),
+            "no scheme reduced parameters"
+        );
+        // Scheme lengths respect L.
+        assert!(history.records.iter().all(|r| r.scheme.len() <= 3));
+        // Costs are monotone.
+        assert!(history
+            .records
+            .windows(2)
+            .all(|w| w[1].cost_so_far >= w[0].cost_so_far));
+    }
+}

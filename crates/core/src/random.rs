@@ -1,0 +1,72 @@
+//! Random search — the standard AutoML baseline: sample whole schemes
+//! uniformly and evaluate them end to end.
+
+use crate::context::SearchContext;
+use crate::history::{EvalRecord, SearchHistory};
+use automc_compress::{execute_scheme, Scheme};
+use automc_tensor::Rng;
+use rand::Rng as _;
+
+/// Run random search until the budget is exhausted.
+pub fn random_search(ctx: &SearchContext<'_>, rng: &mut Rng) -> SearchHistory {
+    let mut history = SearchHistory::new("Random");
+    let mut spent = 0u64;
+    while spent < ctx.budget.units {
+        let len = rng.gen_range(1..=ctx.max_len);
+        let scheme: Scheme = (0..len).map(|_| rng.gen_range(0..ctx.space.len())).collect();
+        let (_, outcome) = execute_scheme(
+            ctx.base_model,
+            &ctx.base_metrics,
+            &scheme,
+            ctx.space,
+            ctx.search_train,
+            ctx.eval_set,
+            &ctx.exec,
+            rng,
+        );
+        spent += outcome.cost.units();
+        history
+            .records
+            .push(EvalRecord::from_outcome(scheme, &outcome, spent));
+    }
+    history
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SearchBudget, SearchContext};
+    use automc_compress::{ExecConfig, Metrics, StrategySpace};
+    use automc_data::{DatasetSpec, SyntheticKind};
+    use automc_models::resnet;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn random_search_respects_budget_and_length() {
+        let mut rng = rng_from_seed(320);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 100,
+            test: 60,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let base_metrics = Metrics::measure(&mut base, &eval_set);
+        let space = StrategySpace::full();
+        let ctx = SearchContext {
+            space: &space,
+            base_model: &base,
+            base_metrics,
+            search_train: &train_set,
+            eval_set: &eval_set,
+            exec: ExecConfig { pretrain_epochs: 2.0, ..Default::default() },
+            max_len: 2,
+            gamma: 0.2,
+            budget: SearchBudget::new(4_000),
+        };
+        let history = random_search(&ctx, &mut rng);
+        assert!(!history.records.is_empty());
+        assert!(history.records.iter().all(|r| (1..=2).contains(&r.scheme.len())));
+        assert!(history.total_cost() >= ctx.budget.units);
+    }
+}

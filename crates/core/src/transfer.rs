@@ -1,0 +1,72 @@
+//! Transfer study (paper §4.4, Table 3): re-execute a searched compression
+//! scheme on a *different* model of the same family.
+
+use automc_compress::{execute_scheme, ExecConfig, Metrics, Scheme, SchemeOutcome, StrategySpace};
+use automc_data::ImageSet;
+use automc_models::ConvNet;
+use automc_tensor::Rng;
+
+/// Apply a searched scheme to a new (pre-trained) target model and report
+/// its metrics on that model.
+#[allow(clippy::too_many_arguments)]
+pub fn transfer_scheme(
+    scheme: &Scheme,
+    target_model: &ConvNet,
+    target_base: &Metrics,
+    space: &StrategySpace,
+    train_set: &ImageSet,
+    eval_set: &ImageSet,
+    exec: &ExecConfig,
+    rng: &mut Rng,
+) -> SchemeOutcome {
+    let (_, outcome) = execute_scheme(
+        target_model,
+        target_base,
+        scheme,
+        space,
+        train_set,
+        eval_set,
+        exec,
+        rng,
+    );
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_compress::StrategySpace;
+    use automc_data::{DatasetSpec, SyntheticKind};
+    use automc_models::resnet;
+    use automc_models::train::{train, Auxiliary, TrainConfig};
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn scheme_transfers_across_depths() {
+        let mut rng = rng_from_seed(350);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 120,
+            test: 60,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let space = StrategySpace::full();
+        // Scheme searched on a ResNet-20…
+        let scheme: Scheme = vec![space.iter().find(|(_, s)| s.ratio() > 0.15).unwrap().0];
+        // …transfers to a ResNet-56.
+        let mut target = resnet(56, 4, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut target,
+            &train_set,
+            &TrainConfig { epochs: 2.0, ..Default::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        let base = Metrics::measure(&mut target, &eval_set);
+        let exec = ExecConfig { pretrain_epochs: 2.0, ..Default::default() };
+        let outcome =
+            transfer_scheme(&scheme, &target, &base, &space, &train_set, &eval_set, &exec, &mut rng);
+        assert!(outcome.pr > 0.05, "transferred scheme should still prune: {}", outcome.pr);
+        assert!(outcome.metrics.acc > 0.0);
+    }
+}

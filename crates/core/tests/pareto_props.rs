@@ -1,0 +1,92 @@
+//! Property-based tests of the Pareto utilities that both the progressive
+//! search (ParetoO selection) and the EA baseline depend on.
+
+use automc_core::pareto::{crowding_distance, dominates, non_dominated_ranks, pareto_front};
+use proptest::prelude::*;
+
+fn points(n: usize) -> impl Strategy<Value = Vec<(f32, f32)>> {
+    proptest::collection::vec((0.0f32..1.0, 0.0f32..1.0), 1..n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn front_members_are_mutually_nondominated(pts in points(40)) {
+        let front = pareto_front(&pts);
+        for &i in &front {
+            for &j in &front {
+                prop_assert!(!(i != j && dominates(pts[i], pts[j]) && dominates(pts[j], pts[i])));
+            }
+        }
+    }
+
+    #[test]
+    fn nothing_outside_front_dominates_a_member(pts in points(40)) {
+        let front = pareto_front(&pts);
+        prop_assert!(!front.is_empty());
+        for &i in &front {
+            for (j, &q) in pts.iter().enumerate() {
+                if j != i {
+                    prop_assert!(!dominates(q, pts[i]),
+                        "point {j} {q:?} dominates front member {i} {:?}", pts[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_front_point_is_dominated_or_duplicate(pts in points(40)) {
+        let front = pareto_front(&pts);
+        for (i, &p) in pts.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            let covered = pts
+                .iter()
+                .enumerate()
+                .any(|(j, &q)| j != i && (dominates(q, p) || (q == p && j < i)));
+            prop_assert!(covered, "point {i} {p:?} excluded without a dominator");
+        }
+    }
+
+    #[test]
+    fn rank_zero_equals_front(pts in points(30)) {
+        let front: std::collections::HashSet<usize> = pareto_front(&pts).into_iter().collect();
+        let ranks = non_dominated_ranks(&pts);
+        for (i, &r) in ranks.iter().enumerate() {
+            if r == 0 {
+                // Rank-0 points are non-dominated; the front keeps one copy
+                // of duplicates, so rank-0 ⊇ front and rank-0 \ front are
+                // duplicates of front members.
+                let in_front = front.contains(&i)
+                    || pts.iter().enumerate().any(|(j, &q)| j != i && q == pts[i] && front.contains(&j));
+                prop_assert!(in_front, "rank-0 point {i} not represented in the front");
+            } else {
+                prop_assert!(!front.contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_total_and_respect_dominance(pts in points(25)) {
+        let ranks = non_dominated_ranks(&pts);
+        prop_assert!(ranks.iter().all(|&r| r != usize::MAX));
+        for i in 0..pts.len() {
+            for j in 0..pts.len() {
+                if dominates(pts[i], pts[j]) {
+                    prop_assert!(ranks[i] < ranks[j],
+                        "dominator rank {} !< dominated rank {}", ranks[i], ranks[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_is_nonnegative(pts in points(20)) {
+        let members: Vec<usize> = (0..pts.len()).collect();
+        let d = crowding_distance(&pts, &members);
+        prop_assert_eq!(d.len(), members.len());
+        prop_assert!(d.iter().all(|&v| v >= 0.0));
+    }
+}

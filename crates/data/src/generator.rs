@@ -1,0 +1,207 @@
+use crate::ImageSet;
+use automc_tensor::{Rng, Tensor};
+use rand::Rng as _;
+
+/// Which CIFAR stand-in to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyntheticKind {
+    /// 10-class stand-in for CIFAR-10 (Exp1).
+    Cifar10Like,
+    /// 100-class stand-in for CIFAR-100 (Exp2).
+    Cifar100Like,
+}
+
+impl SyntheticKind {
+    /// Class count.
+    pub fn classes(&self) -> usize {
+        match self {
+            SyntheticKind::Cifar10Like => 10,
+            SyntheticKind::Cifar100Like => 100,
+        }
+    }
+}
+
+/// Specification of a synthetic dataset.
+///
+/// Defaults mirror the reduced "repro scale" documented in `DESIGN.md`
+/// (paper scale: 32×32×3, 50k train / 10k test).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetSpec {
+    /// Which stand-in (fixes the class count).
+    pub kind: SyntheticKind,
+    /// Image height and width.
+    pub size: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Training samples.
+    pub train: usize,
+    /// Test samples.
+    pub test: usize,
+    /// Pixel noise standard deviation — the difficulty knob.
+    pub noise: f32,
+    /// Maximum spatial jitter in pixels.
+    pub jitter: usize,
+    /// Generation seed (independent of training seeds).
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Repro-scale defaults for a stand-in kind.
+    pub fn new(kind: SyntheticKind) -> Self {
+        DatasetSpec {
+            kind,
+            size: 8,
+            channels: 3,
+            train: 1600,
+            test: 400,
+            noise: 0.35,
+            jitter: 1,
+            seed: 0xC1FA_0000 + kind.classes() as u64,
+        }
+    }
+
+    /// Generate `(train, test)` image sets.
+    pub fn generate(&self) -> (ImageSet, ImageSet) {
+        let mut rng = automc_tensor::rng_from_seed(self.seed);
+        let prototypes = self.make_prototypes(&mut rng);
+        let train = self.make_split(self.train, &prototypes, &mut rng);
+        let test = self.make_split(self.test, &prototypes, &mut rng);
+        (train, test)
+    }
+
+    /// Smooth per-class prototype patterns: a coarse random grid upsampled
+    /// bilinearly, plus a class-specific channel tint. Smoothness matters —
+    /// it gives convolutions local structure to exploit.
+    fn make_prototypes(&self, rng: &mut Rng) -> Vec<Tensor> {
+        let classes = self.kind.classes();
+        let coarse = (self.size / 2).max(2);
+        (0..classes)
+            .map(|class| {
+                let mut proto = Tensor::zeros(&[self.channels, self.size, self.size]);
+                for c in 0..self.channels {
+                    // Coarse grid in [-1, 1].
+                    let grid: Vec<f32> =
+                        (0..coarse * coarse).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let tint = ((class * (c + 3)) % 7) as f32 / 7.0 - 0.5;
+                    for y in 0..self.size {
+                        for x in 0..self.size {
+                            // Bilinear sample of the coarse grid.
+                            let fy = y as f32 / self.size as f32 * (coarse - 1) as f32;
+                            let fx = x as f32 / self.size as f32 * (coarse - 1) as f32;
+                            let (y0, x0) = (fy.floor() as usize, fx.floor() as usize);
+                            let (y1, x1) = ((y0 + 1).min(coarse - 1), (x0 + 1).min(coarse - 1));
+                            let (dy, dx) = (fy - y0 as f32, fx - x0 as f32);
+                            let v = grid[y0 * coarse + x0] * (1.0 - dy) * (1.0 - dx)
+                                + grid[y0 * coarse + x1] * (1.0 - dy) * dx
+                                + grid[y1 * coarse + x0] * dy * (1.0 - dx)
+                                + grid[y1 * coarse + x1] * dy * dx;
+                            *proto.at_mut(&[c, y, x]) = v + tint;
+                        }
+                    }
+                }
+                proto
+            })
+            .collect()
+    }
+
+    fn make_split(&self, n: usize, prototypes: &[Tensor], rng: &mut Rng) -> ImageSet {
+        let classes = self.kind.classes();
+        let item = self.channels * self.size * self.size;
+        let mut pixels = Vec::with_capacity(n * item);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            // Round-robin labels keep splits balanced.
+            let class = i % classes;
+            labels.push(class);
+            let proto = &prototypes[class];
+            let dy = rng.gen_range(-(self.jitter as i32)..=(self.jitter as i32));
+            let dx = rng.gen_range(-(self.jitter as i32)..=(self.jitter as i32));
+            let flip = rng.gen_bool(0.5);
+            for c in 0..self.channels {
+                for y in 0..self.size {
+                    for x in 0..self.size {
+                        let sx = if flip { self.size - 1 - x } else { x };
+                        let sy = (y as i32 + dy).clamp(0, self.size as i32 - 1) as usize;
+                        let sx = (sx as i32 + dx).clamp(0, self.size as i32 - 1) as usize;
+                        let base = proto.at(&[c, sy, sx]);
+                        let noise = {
+                            // Box–Muller; cheap and deterministic.
+                            let u1: f32 = 1.0 - rng.gen::<f32>();
+                            let u2: f32 = rng.gen();
+                            (-2.0 * u1.ln()).sqrt()
+                                * (2.0 * std::f32::consts::PI * u2).cos()
+                        };
+                        pixels.push(base + self.noise * noise);
+                    }
+                }
+            }
+        }
+        ImageSet::new(pixels, labels, self.channels, self.size, self.size, classes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec { train: 40, test: 20, ..DatasetSpec::new(SyntheticKind::Cifar10Like) };
+        let (a_train, _) = spec.generate();
+        let (b_train, _) = spec.generate();
+        assert_eq!(a_train.image(0), b_train.image(0));
+        assert_eq!(a_train.labels(), b_train.labels());
+    }
+
+    #[test]
+    fn splits_have_requested_sizes_and_balance() {
+        let spec = DatasetSpec { train: 100, test: 50, ..DatasetSpec::new(SyntheticKind::Cifar10Like) };
+        let (train, test) = spec.generate();
+        assert_eq!(train.len(), 100);
+        assert_eq!(test.len(), 50);
+        let mut counts = [0usize; 10];
+        for &l in train.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 10));
+    }
+
+    #[test]
+    fn hundred_class_variant() {
+        let spec = DatasetSpec { train: 200, test: 100, ..DatasetSpec::new(SyntheticKind::Cifar100Like) };
+        let (train, _) = spec.generate();
+        assert_eq!(train.classes(), 100);
+        assert!(train.labels().iter().any(|&l| l >= 50));
+    }
+
+    #[test]
+    fn same_class_images_are_correlated_different_classes_less() {
+        let spec = DatasetSpec {
+            train: 40,
+            test: 0,
+            noise: 0.1,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        };
+        let (train, _) = spec.generate();
+        // Samples 0 and 10 share class 0; samples 0 and 1 differ.
+        let dot = |a: &[f32], b: &[f32]| -> f32 {
+            let na = a.iter().map(|v| v * v).sum::<f32>().sqrt();
+            let nb = b.iter().map(|v| v * v).sum::<f32>().sqrt();
+            a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>() / (na * nb).max(1e-9)
+        };
+        let same = dot(train.image(0), train.image(10));
+        let diff = dot(train.image(0), train.image(1));
+        assert!(
+            same > diff,
+            "same-class similarity {same} should exceed cross-class {diff}"
+        );
+    }
+
+    #[test]
+    fn pixels_are_finite() {
+        let spec = DatasetSpec { train: 20, test: 10, ..DatasetSpec::new(SyntheticKind::Cifar10Like) };
+        let (train, test) = spec.generate();
+        assert!(train.image(0).iter().all(|v| v.is_finite()));
+        assert!(test.image(0).iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,67 @@
+//! # automc-data
+//!
+//! Synthetic image-classification datasets standing in for CIFAR-10/100.
+//!
+//! The AutoMC paper evaluates on CIFAR-10 (Exp1) and CIFAR-100 (Exp2).
+//! Those datasets are unavailable in this environment, so this crate
+//! generates seeded synthetic datasets with the same *role*: multi-class
+//! images whose difficulty is controlled by class count, intra-class
+//! variation, and noise. Class identity is carried by a smooth per-class
+//! prototype pattern; samples perturb the prototype with spatial jitter,
+//! flips, and pixel noise — enough structure that a small CNN must actually
+//! learn convolutional features, and enough variation that over-pruned
+//! models visibly lose accuracy (the signal the search optimises).
+//!
+//! The paper's experimental protocol details reproduced here:
+//! * 10%-subsampling of the training split for AutoML search
+//!   ([`ImageSet::sample_fraction`]);
+//! * held-out evaluation sets for the accuracy term `A(M)`;
+//! * task feature vectors (data half) used by `NN_exp` (§3.3.1).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod dataset;
+mod generator;
+
+pub use dataset::{Batches, ImageSet};
+pub use generator::{DatasetSpec, SyntheticKind};
+
+/// Data-side task features fed to the experience network `NN_exp`
+/// (paper §3.3.1: category number, image size, channel count, data amount).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataFeatures {
+    /// Number of classes.
+    pub classes: usize,
+    /// Image height (== width in this workspace).
+    pub image_size: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Number of training samples.
+    pub amount: usize,
+}
+
+impl DataFeatures {
+    /// Normalised feature vector (log/linear scaled into ~[0, 1]).
+    pub fn to_vec(&self) -> Vec<f32> {
+        vec![
+            (self.classes as f32).ln() / 5.0,
+            self.image_size as f32 / 32.0,
+            self.channels as f32 / 3.0,
+            (self.amount.max(1) as f32).ln() / 10.0,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_features_vectorise() {
+        let f = DataFeatures { classes: 10, image_size: 8, channels: 3, amount: 1000 };
+        let v = f.to_vec();
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,141 @@
+//! Knowledge-graph construction (paper Fig. 2a).
+
+use automc_compress::{StrategyId, StrategySpace};
+use std::collections::HashMap;
+
+/// The five relation types of the AutoMC knowledge graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// R1: strategy → its method (`E1 → E2`).
+    StrategyMethod = 0,
+    /// R2: strategy → its hyperparameter settings (`E1 → E4`).
+    StrategySetting = 1,
+    /// R3: method → its hyperparameters (`E2 → E3`).
+    MethodHyper = 2,
+    /// R4: method → its techniques (`E2 → E5`).
+    MethodTechnique = 3,
+    /// R5: hyperparameter → its settings (`E3 → E4`).
+    HyperSetting = 4,
+}
+
+/// Number of relation types.
+pub const NUM_RELATIONS: usize = 5;
+
+/// The assembled knowledge graph: an entity table (strategies, methods,
+/// hyperparameters, settings, techniques) plus `(head, relation, tail)`
+/// triples.
+pub struct KnowledgeGraph {
+    /// Total entity count.
+    pub num_entities: usize,
+    /// Entity id of each strategy (`E1` block).
+    pub strategy_entity: Vec<usize>,
+    /// Triples `(head, relation index, tail)`.
+    pub triples: Vec<(usize, usize, usize)>,
+}
+
+impl KnowledgeGraph {
+    /// Build the graph for a strategy space.
+    pub fn build(space: &StrategySpace) -> Self {
+        let mut next_entity = 0usize;
+        let mut alloc = || {
+            let id = next_entity;
+            next_entity += 1;
+            id
+        };
+
+        // E1: strategies.
+        let strategy_entity: Vec<usize> = (0..space.len()).map(|_| alloc()).collect();
+        // E2: methods.
+        let mut method_entity: HashMap<&'static str, usize> = HashMap::new();
+        // E3: hyperparameters (by id 1..=16).
+        let mut hyper_entity: HashMap<u8, usize> = HashMap::new();
+        // E4: settings, keyed by (hp, label).
+        let mut setting_entity: HashMap<(u8, String), usize> = HashMap::new();
+        // E5: techniques.
+        let mut technique_entity: HashMap<&'static str, usize> = HashMap::new();
+
+        let mut triples = Vec::new();
+        let mut seen_triples: std::collections::HashSet<(usize, usize, usize)> =
+            std::collections::HashSet::new();
+        let mut push = |t: (usize, usize, usize),
+                        triples: &mut Vec<(usize, usize, usize)>| {
+            if seen_triples.insert(t) {
+                triples.push(t);
+            }
+        };
+
+        for (sid, spec) in space.iter() {
+            let s_ent = strategy_entity[sid as StrategyId];
+            let method = spec.method();
+            let m_ent = *method_entity.entry(method.label()).or_insert_with(&mut alloc);
+            push((s_ent, Relation::StrategyMethod as usize, m_ent), &mut triples);
+            for te in method.techniques() {
+                let t_ent = *technique_entity.entry(te).or_insert_with(&mut alloc);
+                push((m_ent, Relation::MethodTechnique as usize, t_ent), &mut triples);
+            }
+            for setting in spec.hyper_settings() {
+                let h_ent = *hyper_entity.entry(setting.hp).or_insert_with(&mut alloc);
+                let key = (setting.hp, setting.label.clone());
+                let v_ent = *setting_entity.entry(key).or_insert_with(&mut alloc);
+                push((s_ent, Relation::StrategySetting as usize, v_ent), &mut triples);
+                push((m_ent, Relation::MethodHyper as usize, h_ent), &mut triples);
+                push((h_ent, Relation::HyperSetting as usize, v_ent), &mut triples);
+            }
+        }
+
+        KnowledgeGraph { num_entities: next_entity, strategy_entity, triples }
+    }
+
+    /// Triples of one relation type.
+    pub fn triples_of(&self, r: Relation) -> impl Iterator<Item = &(usize, usize, usize)> {
+        self.triples.iter().filter(move |t| t.1 == r as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_compress::MethodId;
+
+    #[test]
+    fn full_graph_has_all_entity_classes() {
+        let space = StrategySpace::full();
+        let kg = KnowledgeGraph::build(&space);
+        // 4230 strategies + 6 methods + hyperparameters + settings + techniques.
+        assert!(kg.num_entities > space.len() + 6);
+        assert_eq!(kg.strategy_entity.len(), space.len());
+        // Every strategy has exactly one R1 triple.
+        assert_eq!(kg.triples_of(Relation::StrategyMethod).count(), space.len());
+    }
+
+    #[test]
+    fn triples_are_unique() {
+        let space = StrategySpace::for_methods(&[MethodId::Ns, MethodId::Sfp]);
+        let kg = KnowledgeGraph::build(&space);
+        let set: std::collections::HashSet<_> = kg.triples.iter().collect();
+        assert_eq!(set.len(), kg.triples.len());
+    }
+
+    #[test]
+    fn shared_hyperparameters_are_shared_entities() {
+        // HP2 appears in every method: the R5 triples for HP2 settings
+        // should all hang off a single E3 entity.
+        let space = StrategySpace::full();
+        let kg = KnowledgeGraph::build(&space);
+        // Heads of R5 triples = hyperparameter entities.
+        let hyper_heads: std::collections::HashSet<usize> =
+            kg.triples_of(Relation::HyperSetting).map(|t| t.0).collect();
+        assert_eq!(hyper_heads.len(), 15, "Table 1 uses 15 distinct HPs (1–16 minus HP3)");
+    }
+
+    #[test]
+    fn entity_ids_in_range() {
+        let space = StrategySpace::for_methods(&[MethodId::Lfb]);
+        let kg = KnowledgeGraph::build(&space);
+        for &(h, r, t) in &kg.triples {
+            assert!(h < kg.num_entities);
+            assert!(t < kg.num_entities);
+            assert!(r < NUM_RELATIONS);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `NN_exp` — the experience network (paper Fig. 2b, Eq. 3).
+//!
+//! Takes a strategy embedding and a task feature vector, predicts the
+//! strategy's `(AR, PR)` on that task. Training minimises the prediction
+//! error *jointly over the network parameters θ and the strategy
+//! embeddings* — the input gradient w.r.t. the embedding half is applied
+//! back onto the TransR entity table, which is what lets numerical
+//! experience reshape the relational embeddings.
+
+use crate::experience::ExperienceCorpus;
+use crate::kg::KnowledgeGraph;
+use crate::transr::TransR;
+use automc_tensor::nn::{Layer, Linear, Relu, Sequential};
+use automc_tensor::optim::{Adam, AdamConfig, Optimizer};
+use automc_tensor::{loss, Rng, Tensor};
+use rand::seq::SliceRandom;
+
+/// Learning rate applied to embeddings during refinement (relative to the
+/// network's Adam rate, embeddings move a little faster — they are the
+/// quantity Eq. 3 optimises).
+const EMB_LR_SCALE: f32 = 10.0;
+
+/// The experience-prediction network.
+pub struct NnExp {
+    net: Sequential,
+    opt: Adam,
+    dim: usize,
+    task_len: usize,
+    emb_lr: f32,
+}
+
+impl NnExp {
+    /// Build the MLP `[dim + task_len] → 64 → 32 → 2`.
+    pub fn new(dim: usize, task_len: usize, lr: f32, rng: &mut Rng) -> Self {
+        let net = Sequential::new()
+            .push(Linear::new(dim + task_len, 64, rng))
+            .push(Relu::new())
+            .push(Linear::new(64, 32, rng))
+            .push(Relu::new())
+            .push(Linear::new(32, 2, rng));
+        NnExp {
+            net,
+            opt: Adam::new(AdamConfig { lr, ..Default::default() }),
+            dim,
+            task_len,
+            emb_lr: lr * EMB_LR_SCALE,
+        }
+    }
+
+    /// Predict `(AR, PR)` for one strategy embedding on one task.
+    pub fn predict(&mut self, embedding: &[f32], task: &[f32]) -> (f32, f32) {
+        debug_assert_eq!(embedding.len(), self.dim);
+        debug_assert_eq!(task.len(), self.task_len);
+        let mut input = Vec::with_capacity(self.dim + self.task_len);
+        input.extend_from_slice(embedding);
+        input.extend_from_slice(task);
+        let x = Tensor::from_slice(&[1, self.dim + self.task_len], &input);
+        let y = self.net.forward(&x, false);
+        (y.data()[0], y.data()[1])
+    }
+
+    /// One epoch of Eq. 3: minimise `‖NN_exp(e, task) − (AR, PR)‖` over θ
+    /// *and* the strategy embeddings stored in `transr`. Returns the mean
+    /// squared error over the epoch.
+    pub fn refine_epoch(
+        &mut self,
+        transr: &mut TransR,
+        kg: &KnowledgeGraph,
+        corpus: &ExperienceCorpus,
+        rng: &mut Rng,
+    ) -> f32 {
+        let mut order: Vec<usize> = (0..corpus.records.len()).collect();
+        order.shuffle(rng);
+        let batch = 16usize;
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch) {
+            let width = self.dim + self.task_len;
+            let mut x = Tensor::zeros(&[chunk.len(), width]);
+            let mut target = Tensor::zeros(&[chunk.len(), 2]);
+            for (row, &ri) in chunk.iter().enumerate() {
+                let rec = &corpus.records[ri];
+                let ent = kg.strategy_entity[rec.strategy];
+                let emb = transr.entity_embedding(ent);
+                x.row_mut(row)[..self.dim].copy_from_slice(emb);
+                x.row_mut(row)[self.dim..].copy_from_slice(&rec.task);
+                target.row_mut(row).copy_from_slice(&[rec.ar, rec.pr]);
+            }
+            let pred = self.net.forward(&x, true);
+            let (mse, grad) = loss::mse(&pred, &target);
+            total += mse;
+            batches += 1;
+            let grad_in = self.net.backward(&grad);
+            self.opt.step(&mut self.net.params_mut());
+            // Embedding half of the input gradient flows back into the
+            // TransR entity table (Algorithm 1, line 9: "replace e by ẽ").
+            for (row, &ri) in chunk.iter().enumerate() {
+                let rec = &corpus.records[ri];
+                let ent = kg.strategy_entity[rec.strategy];
+                let g = &grad_in.row(row)[..self.dim].to_vec();
+                let emb = transr.entity_embedding_mut(ent);
+                for (e, gv) in emb.iter_mut().zip(g) {
+                    *e -= self.emb_lr * gv;
+                }
+            }
+        }
+        total / batches.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experience::{ExperienceCorpus, ExperienceRecord};
+    use crate::kg::KnowledgeGraph;
+    use crate::transr::{TransR, TransRConfig};
+    use automc_compress::{MethodId, StrategySpace};
+    use automc_tensor::rng_from_seed;
+
+    fn setup() -> (StrategySpace, KnowledgeGraph, TransR, ExperienceCorpus) {
+        let space = StrategySpace::for_methods(&[MethodId::Ns]);
+        let kg = KnowledgeGraph::build(&space);
+        let mut rng = rng_from_seed(230);
+        let transr = TransR::new(
+            &kg,
+            TransRConfig { dim: 8, rel_dim: 4, ..Default::default() },
+            &mut rng,
+        );
+        // Synthetic but *structured* experience: PR equals the strategy's
+        // HP2 ratio, AR penalises large ratios — learnable signal.
+        let mut corpus = ExperienceCorpus::empty(3);
+        for (sid, spec) in space.iter() {
+            if sid % 3 != 0 {
+                continue;
+            }
+            corpus.push(ExperienceRecord {
+                strategy: sid,
+                task: vec![0.5, 0.5, 0.5],
+                ar: -spec.ratio() * 0.5,
+                pr: spec.ratio(),
+            });
+        }
+        (space, kg, transr, corpus)
+    }
+
+    #[test]
+    fn refinement_reduces_prediction_error() {
+        let (_, kg, mut transr, corpus) = setup();
+        let mut rng = rng_from_seed(231);
+        let mut nn = NnExp::new(8, 3, 1e-3, &mut rng);
+        let first = nn.refine_epoch(&mut transr, &kg, &corpus, &mut rng);
+        let mut last = first;
+        for _ in 0..60 {
+            last = nn.refine_epoch(&mut transr, &kg, &corpus, &mut rng);
+        }
+        assert!(last < first * 0.5, "error should halve: {first} → {last}");
+    }
+
+    #[test]
+    fn refinement_moves_embeddings() {
+        let (_, kg, mut transr, corpus) = setup();
+        let mut rng = rng_from_seed(232);
+        let mut nn = NnExp::new(8, 3, 1e-3, &mut rng);
+        let ent = kg.strategy_entity[corpus.records[0].strategy];
+        let before = transr.entity_embedding(ent).to_vec();
+        for _ in 0..5 {
+            nn.refine_epoch(&mut transr, &kg, &corpus, &mut rng);
+        }
+        let after = transr.entity_embedding(ent);
+        let moved: f32 = before
+            .iter()
+            .zip(after)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(moved > 1e-4, "embedding should move under Eq. 3");
+    }
+
+    #[test]
+    fn trained_predictions_track_targets() {
+        let (space, kg, mut transr, corpus) = setup();
+        let mut rng = rng_from_seed(233);
+        let mut nn = NnExp::new(8, 3, 2e-3, &mut rng);
+        for _ in 0..120 {
+            nn.refine_epoch(&mut transr, &kg, &corpus, &mut rng);
+        }
+        // Pick a low-PR and a high-PR record from the corpus (only corpus
+        // strategies had their embeddings refined); predicted PR should
+        // order them correctly.
+        let lo = corpus.records.iter().find(|r| r.pr < 0.1).unwrap().strategy;
+        let hi = corpus.records.iter().find(|r| r.pr > 0.35).unwrap().strategy;
+        let _ = &space;
+        let task = vec![0.5, 0.5, 0.5];
+        let e_lo = transr.entity_embedding(kg.strategy_entity[lo]).to_vec();
+        let e_hi = transr.entity_embedding(kg.strategy_entity[hi]).to_vec();
+        let (_, pr_lo) = nn.predict(&e_lo, &task);
+        let (_, pr_hi) = nn.predict(&e_hi, &task);
+        assert!(
+            pr_hi > pr_lo,
+            "predicted PR should order by ratio: {pr_lo} vs {pr_hi}"
+        );
+    }
+}

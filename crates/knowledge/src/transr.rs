@@ -1,0 +1,297 @@
+//! TransR knowledge-graph embedding (Lin et al., Eq. 2 of the paper).
+//!
+//! Entities live in `R^d`, relations in `R^k`, and each relation carries a
+//! projection `W_r ∈ R^{k×d}`. A triple `(h, r, t)` is scored by
+//! `f = ‖W_r·e_h + e_r − W_r·e_t‖²`; training minimises a margin ranking
+//! loss against negative samples (corrupted tails), by plain SGD on the
+//! embeddings and projections.
+
+use crate::kg::{KnowledgeGraph, NUM_RELATIONS};
+use automc_tensor::{Rng, Tensor};
+use rand::Rng as _;
+
+/// TransR hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransRConfig {
+    /// Entity dimension `d`.
+    pub dim: usize,
+    /// Relation dimension `k`.
+    pub rel_dim: usize,
+    /// Ranking margin γ.
+    pub margin: f32,
+    /// SGD learning rate.
+    pub lr: f32,
+}
+
+impl Default for TransRConfig {
+    fn default() -> Self {
+        TransRConfig { dim: 32, rel_dim: 16, margin: 1.0, lr: 0.02 }
+    }
+}
+
+/// Trainable TransR embedding tables.
+pub struct TransR {
+    cfg: TransRConfig,
+    /// Entity embeddings, one row per entity `[num_entities, d]`.
+    entities: Tensor,
+    /// Relation embeddings `[R, k]`.
+    relations: Tensor,
+    /// Relation projections, `R` matrices of `[k, d]`.
+    projections: Vec<Tensor>,
+}
+
+impl TransR {
+    /// Fresh randomly-initialised tables for a graph.
+    pub fn new(kg: &KnowledgeGraph, cfg: TransRConfig, rng: &mut Rng) -> Self {
+        let scale = 1.0 / (cfg.dim as f32).sqrt();
+        TransR {
+            cfg,
+            entities: Tensor::randn(&[kg.num_entities, cfg.dim], scale, rng),
+            relations: Tensor::randn(&[NUM_RELATIONS, cfg.rel_dim], scale, rng),
+            projections: (0..NUM_RELATIONS)
+                .map(|_| {
+                    // Near-orthogonal init: identity-ish block plus noise.
+                    let mut w = Tensor::randn(&[cfg.rel_dim, cfg.dim], 0.05, rng);
+                    for i in 0..cfg.rel_dim.min(cfg.dim) {
+                        *w.at_mut(&[i, i]) += 1.0;
+                    }
+                    w
+                })
+                .collect(),
+        }
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.cfg.dim
+    }
+
+    /// Entity embedding row (read).
+    pub fn entity_embedding(&self, entity: usize) -> &[f32] {
+        self.entities.row(entity)
+    }
+
+    /// Entity embedding row (write) — used by `NN_exp` refinement.
+    pub fn entity_embedding_mut(&mut self, entity: usize) -> &mut [f32] {
+        self.entities.row_mut(entity)
+    }
+
+    /// Project an entity into relation `r`'s space: `W_r·e`.
+    pub fn project(&self, r: usize, entity: usize) -> Vec<f32> {
+        let w = &self.projections[r];
+        let (k, d) = (self.cfg.rel_dim, self.cfg.dim);
+        let e = self.entities.row(entity);
+        (0..k)
+            .map(|i| {
+                let wrow = &w.data()[i * d..(i + 1) * d];
+                wrow.iter().zip(e).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// Triple score `‖W_r·e_h + e_r − W_r·e_t‖²` (lower = more plausible).
+    pub fn score(&self, h: usize, r: usize, t: usize) -> f32 {
+        self.residual(h, r, t).iter().map(|v| v * v).sum()
+    }
+
+    /// `W_r·e_h + e_r − W_r·e_t` as a dense vector.
+    fn residual(&self, h: usize, r: usize, t: usize) -> Vec<f32> {
+        let w = &self.projections[r];
+        let (k, d) = (self.cfg.rel_dim, self.cfg.dim);
+        let eh = self.entities.row(h);
+        let et = self.entities.row(t);
+        let er = self.relations.row(r);
+        let mut out = vec![0.0f32; k];
+        for i in 0..k {
+            let wrow = &w.data()[i * d..(i + 1) * d];
+            let mut acc = er[i];
+            for j in 0..d {
+                acc += wrow[j] * (eh[j] - et[j]);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// One margin-ranking epoch over all triples with uniform negative
+    /// tail sampling. Returns the mean hinge loss.
+    pub fn train_epoch(&mut self, kg: &KnowledgeGraph, rng: &mut Rng) -> f32 {
+        let mut total = 0.0f32;
+        let n = kg.triples.len().max(1);
+        for &(h, r, t) in &kg.triples {
+            let t_neg = rng.gen_range(0..kg.num_entities);
+            let pos = self.score(h, r, t);
+            let neg = self.score(h, r, t_neg);
+            let loss = (self.cfg.margin + pos - neg).max(0.0);
+            total += loss;
+            if loss <= 0.0 {
+                continue;
+            }
+            // Hinge active: descend pos score, ascend neg score.
+            self.sgd_triple(h, r, t, 1.0);
+            self.sgd_triple(h, r, t_neg, -1.0);
+        }
+        total / n as f32
+    }
+
+    /// Apply one SGD step on a triple's score scaled by `sign`
+    /// (+1 decreases the score, −1 increases it).
+    fn sgd_triple(&mut self, h: usize, r: usize, t: usize, sign: f32) {
+        let (k, d) = (self.cfg.rel_dim, self.cfg.dim);
+        let u = self.residual(h, r, t); // ∂f/∂u = 2u
+        let lr = self.cfg.lr * sign;
+        // Gradients: de_h = Wᵀ(2u), de_t = −Wᵀ(2u), de_r = 2u,
+        //            dW = 2u (e_h − e_t)ᵀ.
+        let diff: Vec<f32> = {
+            let eh = self.entities.row(h);
+            let et = self.entities.row(t);
+            eh.iter().zip(et).map(|(a, b)| a - b).collect()
+        };
+        // Entity updates.
+        let w = self.projections[r].clone();
+        {
+            let mut wt_u = vec![0.0f32; d];
+            for i in 0..k {
+                let wrow = &w.data()[i * d..(i + 1) * d];
+                for j in 0..d {
+                    wt_u[j] += wrow[j] * 2.0 * u[i];
+                }
+            }
+            let eh = self.entities.row_mut(h);
+            for j in 0..d {
+                eh[j] -= lr * wt_u[j];
+            }
+            let et = self.entities.row_mut(t);
+            for j in 0..d {
+                et[j] += lr * wt_u[j];
+            }
+        }
+        // Relation update.
+        {
+            let er = self.relations.row_mut(r);
+            for i in 0..k {
+                er[i] -= lr * 2.0 * u[i];
+            }
+        }
+        // Projection update.
+        {
+            let wt = &mut self.projections[r];
+            for i in 0..k {
+                let grad_scale = 2.0 * u[i];
+                let wrow = &mut wt.data_mut()[i * d..(i + 1) * d];
+                for j in 0..d {
+                    wrow[j] -= lr * grad_scale * diff[j];
+                }
+            }
+        }
+        // Keep entity norms bounded (standard TransR constraint ‖e‖ ≤ 1).
+        for ent in [h, t] {
+            let row = self.entities.row_mut(ent);
+            let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+            if norm > 1.0 {
+                for v in row.iter_mut() {
+                    *v /= norm;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kg::Relation;
+    use automc_compress::{MethodId, StrategySpace};
+    use automc_tensor::rng_from_seed;
+
+    fn small_kg() -> (StrategySpace, KnowledgeGraph) {
+        let space = StrategySpace::for_methods(&[MethodId::Ns, MethodId::Sfp]);
+        let kg = KnowledgeGraph::build(&space);
+        (space, kg)
+    }
+
+    #[test]
+    fn training_reduces_hinge_loss() {
+        let (_, kg) = small_kg();
+        let mut rng = rng_from_seed(210);
+        let mut tr = TransR::new(&kg, TransRConfig { dim: 16, rel_dim: 8, ..Default::default() }, &mut rng);
+        let first = tr.train_epoch(&kg, &mut rng);
+        let mut last = first;
+        for _ in 0..14 {
+            last = tr.train_epoch(&kg, &mut rng);
+        }
+        assert!(last < first, "hinge loss should drop: {first} → {last}");
+    }
+
+    #[test]
+    fn positive_triples_score_below_random_after_training() {
+        let (_, kg) = small_kg();
+        let mut rng = rng_from_seed(211);
+        let mut tr = TransR::new(&kg, TransRConfig { dim: 16, rel_dim: 8, ..Default::default() }, &mut rng);
+        for _ in 0..15 {
+            tr.train_epoch(&kg, &mut rng);
+        }
+        use rand::Rng as _;
+        let mut pos_sum = 0.0f32;
+        let mut neg_sum = 0.0f32;
+        let sample: Vec<_> = kg.triples.iter().step_by(7).collect();
+        for &&(h, r, t) in &sample {
+            pos_sum += tr.score(h, r, t);
+            neg_sum += tr.score(h, r, rng.gen_range(0..kg.num_entities));
+        }
+        assert!(
+            pos_sum < neg_sum,
+            "true triples should score lower: pos {pos_sum} vs neg {neg_sum}"
+        );
+    }
+
+    #[test]
+    fn same_method_strategies_cluster_in_relation_space() {
+        // The translation principle pulls strategies of the same method to
+        // the same point in the R1-projected space (W_r·e_h ≈ W_r·e_m − e_r);
+        // cross-method strategies should sit farther apart there.
+        let (_space, kg) = small_kg();
+        let mut rng = rng_from_seed(212);
+        let mut tr = TransR::new(&kg, TransRConfig { dim: 16, rel_dim: 8, ..Default::default() }, &mut rng);
+        for _ in 0..25 {
+            tr.train_epoch(&kg, &mut rng);
+        }
+        let r1 = Relation::StrategyMethod as usize;
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        // NS strategies occupy ids [0, 60); SFP [60, 150).
+        let p = |sid: usize| tr.project(r1, kg.strategy_entity[sid]);
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let mut n = 0;
+        for i in (0..40).step_by(5) {
+            same += dist(&p(i), &p(i + 10));
+            cross += dist(&p(i), &p(70 + i));
+            n += 1;
+        }
+        assert!(
+            same / n as f32 <= cross / n as f32,
+            "same-method projected distance {same} should not exceed cross-method {cross}"
+        );
+    }
+
+    #[test]
+    fn entity_norms_bounded() {
+        let (_, kg) = small_kg();
+        let mut rng = rng_from_seed(213);
+        let mut tr = TransR::new(&kg, TransRConfig::default(), &mut rng);
+        for _ in 0..5 {
+            tr.train_epoch(&kg, &mut rng);
+        }
+        for ent in 0..kg.num_entities {
+            let norm: f32 = tr
+                .entity_embedding(ent)
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt();
+            assert!(norm <= 1.5, "entity {ent} norm {norm}");
+        }
+    }
+}

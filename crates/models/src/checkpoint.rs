@@ -1,0 +1,265 @@
+//! Weight checkpointing: snapshot/restore a network's parameters, and a
+//! small self-describing binary format for saving them to disk.
+//!
+//! Structure is *not* serialised — a checkpoint can only be restored into
+//! an architecturally-identical network (same builders, same surgery
+//! applied). Every tensor is shape-checked on restore, so a mismatch is an
+//! error rather than silent corruption. This covers the workflows the
+//! AutoMC pipeline needs: caching pre-trained base models and shipping
+//! compressed results.
+
+use crate::ConvNet;
+use automc_tensor::Tensor;
+use std::io::{self, Read, Write};
+
+/// An in-memory snapshot of every learnable tensor, in parameter order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    tensors: Vec<Tensor>,
+}
+
+/// Errors from checkpoint restore/decoding.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The parameter count differs from the target network's.
+    ParamCountMismatch {
+        /// Tensors in the checkpoint.
+        expected: usize,
+        /// Tensors in the network.
+        actual: usize,
+    },
+    /// A tensor's shape differs from the target's.
+    ShapeMismatch {
+        /// Parameter position.
+        index: usize,
+        /// Dims in the checkpoint.
+        expected: Vec<usize>,
+        /// Dims in the network.
+        actual: Vec<usize>,
+    },
+    /// Malformed byte stream.
+    Corrupt(&'static str),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::ParamCountMismatch { expected, actual } => {
+                write!(f, "checkpoint has {expected} tensors, network has {actual}")
+            }
+            CheckpointError::ShapeMismatch { index, expected, actual } => {
+                write!(f, "tensor {index}: checkpoint {expected:?} vs network {actual:?}")
+            }
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint: {what}"),
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Take a snapshot of a network's parameters.
+pub fn snapshot(net: &mut ConvNet) -> Snapshot {
+    Snapshot {
+        tensors: net.params_mut().iter().map(|p| p.value.clone()).collect(),
+    }
+}
+
+/// Restore a snapshot into an architecturally-identical network.
+pub fn restore(net: &mut ConvNet, snap: &Snapshot) -> Result<(), CheckpointError> {
+    let mut params = net.params_mut();
+    if params.len() != snap.tensors.len() {
+        return Err(CheckpointError::ParamCountMismatch {
+            expected: snap.tensors.len(),
+            actual: params.len(),
+        });
+    }
+    for (i, (p, t)) in params.iter().zip(&snap.tensors).enumerate() {
+        if p.value.dims() != t.dims() {
+            return Err(CheckpointError::ShapeMismatch {
+                index: i,
+                expected: t.dims().to_vec(),
+                actual: p.value.dims().to_vec(),
+            });
+        }
+    }
+    for (p, t) in params.iter_mut().zip(&snap.tensors) {
+        *p.value = t.clone();
+    }
+    Ok(())
+}
+
+const MAGIC: &[u8; 8] = b"AUTOMCv1";
+
+/// Encode a snapshot: magic, tensor count, then per tensor rank, dims,
+/// and little-endian `f32` data.
+pub fn write_snapshot(snap: &Snapshot, w: &mut impl Write) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(snap.tensors.len() as u64).to_le_bytes())?;
+    for t in &snap.tensors {
+        w.write_all(&(t.dims().len() as u32).to_le_bytes())?;
+        for &d in t.dims() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in t.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a snapshot produced by [`write_snapshot`].
+pub fn read_snapshot(r: &mut impl Read) -> Result<Snapshot, CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::Corrupt("bad magic"));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let count = u64::from_le_bytes(u64buf) as usize;
+    if count > 1_000_000 {
+        return Err(CheckpointError::Corrupt("implausible tensor count"));
+    }
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut u32buf = [0u8; 4];
+        r.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        if rank > 8 {
+            return Err(CheckpointError::Corrupt("implausible rank"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64buf)?;
+            dims.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        let numel: usize = dims.iter().product();
+        if numel > 100_000_000 {
+            return Err(CheckpointError::Corrupt("implausible tensor size"));
+        }
+        let mut data = vec![0f32; numel];
+        let mut f32buf = [0u8; 4];
+        for v in &mut data {
+            r.read_exact(&mut f32buf)?;
+            *v = f32::from_le_bytes(f32buf);
+        }
+        tensors.push(
+            Tensor::from_vec(&dims, data)
+                .map_err(|_| CheckpointError::Corrupt("dims/data mismatch"))?,
+        );
+    }
+    Ok(Snapshot { tensors })
+}
+
+/// Convenience: save a network's weights to a file.
+pub fn save_weights(net: &mut ConvNet, path: &std::path::Path) -> Result<(), CheckpointError> {
+    let snap = snapshot(net);
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_snapshot(&snap, &mut file)
+}
+
+/// Convenience: load weights from a file into an identical architecture.
+pub fn load_weights(net: &mut ConvNet, path: &std::path::Path) -> Result<(), CheckpointError> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let snap = read_snapshot(&mut file)?;
+    restore(net, &snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resnet;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn snapshot_roundtrip_in_memory() {
+        let mut rng = rng_from_seed(500);
+        let mut a = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let mut b = resnet(20, 4, 10, (3, 8, 8), &mut rng); // different init
+        let x = automc_tensor::Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        let ya = a.forward(&x, false);
+        let snap = snapshot(&mut a);
+        restore(&mut b, &snap).unwrap();
+        let yb = b.forward(&x, false);
+        assert_eq!(ya.data(), yb.data(), "restored net must compute identically");
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut rng = rng_from_seed(501);
+        let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let snap = snapshot(&mut net);
+        let mut buf = Vec::new();
+        write_snapshot(&snap, &mut buf).unwrap();
+        let back = read_snapshot(&mut &buf[..]).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn restore_rejects_wrong_architecture() {
+        let mut rng = rng_from_seed(502);
+        let mut a = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let mut b = resnet(20, 8, 10, (3, 8, 8), &mut rng); // wider
+        let snap = snapshot(&mut a);
+        match restore(&mut b, &snap) {
+            Err(CheckpointError::ShapeMismatch { .. }) => {}
+            other => panic!("expected shape mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_depth() {
+        let mut rng = rng_from_seed(503);
+        let mut a = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let mut b = resnet(56, 4, 10, (3, 8, 8), &mut rng);
+        let snap = snapshot(&mut a);
+        assert!(matches!(
+            restore(&mut b, &snap),
+            Err(CheckpointError::ParamCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let garbage = vec![0u8; 64];
+        assert!(matches!(
+            read_snapshot(&mut &garbage[..]),
+            Err(CheckpointError::Corrupt(_)) | Err(CheckpointError::Io(_))
+        ));
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(MAGIC);
+        truncated.extend_from_slice(&5u64.to_le_bytes());
+        assert!(read_snapshot(&mut &truncated[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_pruned_structure() {
+        // Checkpoints work on surgically-modified nets too, as long as the
+        // same surgery was applied to the target.
+        let mut rng = rng_from_seed(504);
+        let mut a = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let sites = crate::surgery::prunable_sites(&a);
+        crate::surgery::prune_site(&mut a, sites[0], &[0, 1]);
+        let dir = std::env::temp_dir().join("automc-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pruned.automc");
+        save_weights(&mut a, &path).unwrap();
+        let mut b = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        // Mismatched structure is rejected…
+        assert!(load_weights(&mut b, &path).is_err());
+        // …until the same surgery is applied.
+        let sites_b = crate::surgery::prunable_sites(&b);
+        crate::surgery::prune_site(&mut b, sites_b[0], &[0, 1]);
+        load_weights(&mut b, &path).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

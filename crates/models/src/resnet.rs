@@ -1,0 +1,95 @@
+use crate::convnet::{ConvNet, ModelKind};
+use crate::unit::{BasicBlock, Classifier, ConvBnRelu, Unit};
+use automc_tensor::Rng;
+
+/// Build a CIFAR-style ResNet.
+///
+/// `depth` must satisfy `depth = 6n + 2` (20, 56, 164, …): three stages of
+/// `n` basic blocks at widths `[w, 2w, 4w]`, a 3×3 stem, and a GAP+linear
+/// head — the structure of He et al.'s CIFAR ResNets.
+///
+/// Fidelity note: the paper's ResNet-164 is a *bottleneck* network; at
+/// repro scale we keep basic blocks throughout (27 per stage at depth 164)
+/// so that depth comparisons exercise the same block type. `base_width`
+/// defaults to 16 in the original; the repro scale uses 4–8.
+pub fn resnet(
+    depth: usize,
+    base_width: usize,
+    classes: usize,
+    input_dims: (usize, usize, usize),
+    rng: &mut Rng,
+) -> ConvNet {
+    assert!(depth >= 8 && (depth - 2) % 6 == 0, "ResNet depth must be 6n+2, got {depth}");
+    let n = (depth - 2) / 6;
+    let w = base_width;
+    let mut units = Vec::with_capacity(2 + 3 * n);
+    units.push(Unit::Cbr(ConvBnRelu::new(input_dims.0, w, 3, 1, 1, true, rng)));
+    for (stage, &width) in [w, 2 * w, 4 * w].iter().enumerate() {
+        for block in 0..n {
+            let (in_c, stride) = if block == 0 {
+                if stage == 0 {
+                    (w, 1)
+                } else {
+                    (width / 2, 2)
+                }
+            } else {
+                (width, 1)
+            };
+            units.push(Unit::Block(BasicBlock::new(in_c, width, stride, rng)));
+        }
+    }
+    units.push(Unit::Classifier(Classifier::new(4 * w, classes, rng)));
+    ConvNet::new(units, ModelKind::ResNet(depth), classes, input_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn block_counts_by_depth() {
+        let mut rng = rng_from_seed(130);
+        for (depth, blocks) in [(20usize, 9usize), (56, 27), (164, 81)] {
+            let net = resnet(depth, 4, 10, (3, 8, 8), &mut rng);
+            let n_blocks = net
+                .units
+                .iter()
+                .filter(|u| matches!(u, Unit::Block(_)))
+                .count();
+            assert_eq!(n_blocks, blocks, "depth {depth}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "6n+2")]
+    fn invalid_depth_panics() {
+        let mut rng = rng_from_seed(131);
+        resnet(21, 4, 10, (3, 8, 8), &mut rng);
+    }
+
+    #[test]
+    fn stage_transitions_have_projection_shortcuts() {
+        let mut rng = rng_from_seed(132);
+        let net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let mut projections = 0;
+        for u in &net.units {
+            if let Unit::Block(b) = u {
+                if b.shortcut.is_some() {
+                    projections += 1;
+                }
+            }
+        }
+        assert_eq!(projections, 2, "one projection per stage transition");
+    }
+
+    #[test]
+    fn spatial_dims_shrink_by_stage() {
+        // Verified indirectly via forward shape: 8x8 → stage3 at 2x2,
+        // classifier flattens to classes.
+        let mut rng = rng_from_seed(133);
+        let mut net = resnet(20, 4, 7, (3, 8, 8), &mut rng);
+        let x = automc_tensor::Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(net.forward(&x, false).dims(), &[1, 7]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Structural surgery: channel-level pruning that keeps producer/consumer
+//! shapes consistent, plus the per-filter importance criteria the
+//! compression methods rank by.
+//!
+//! Prunable sites:
+//! * **VGG** — every body convolution; pruning its output filters also
+//!   removes the matching input channels of the next convolution (or the
+//!   classifier's input features).
+//! * **ResNet** — each basic block's *inner* channels (output of `c1`,
+//!   input of `c2`). Residual-stream channels (stem, block outputs,
+//!   shortcuts) are tied across the network and are left intact, the
+//!   standard practice for structured ResNet pruning.
+
+use crate::convnet::ConvNet;
+use crate::unit::{ConvBnRelu, Unit};
+
+/// A per-filter importance criterion.
+///
+/// `L1Weight`/`L2Weight`/`L2BnParam` are LeGR's HP8 options; `K34` and
+/// `SkewKur` are HOS's higher-order-statistics criteria (HP12); `L1Norm`
+/// is HOS's first-order option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Sum of absolute kernel weights of the filter.
+    L1Weight,
+    /// Euclidean norm of the filter kernel.
+    L2Weight,
+    /// Magnitude of the following batch-norm's γ for the channel.
+    L2BnParam,
+    /// Higher-order statistic: excess kurtosis magnitude of the filter's
+    /// weight distribution (HOS `k34`).
+    K34,
+    /// Combined |skewness| + |excess kurtosis| (HOS `skew_kur`).
+    SkewKur,
+}
+
+/// A prunable channel group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneSite {
+    /// Index into `ConvNet::units`.
+    pub unit_idx: usize,
+    /// Current channel count at the site.
+    pub channels: usize,
+}
+
+/// Enumerate the prunable sites of a network.
+pub fn prunable_sites(net: &ConvNet) -> Vec<PruneSite> {
+    let mut sites = Vec::new();
+    for (i, unit) in net.units.iter().enumerate() {
+        match unit {
+            Unit::Cbr(c) => {
+                // The stem of a ResNet feeds the residual stream: skip it.
+                if matches!(net.kind, crate::ModelKind::ResNet(_)) && i == 0 {
+                    continue;
+                }
+                sites.push(PruneSite { unit_idx: i, channels: c.out_channels() });
+            }
+            Unit::Block(b) => {
+                sites.push(PruneSite { unit_idx: i, channels: b.inner_channels() });
+            }
+            _ => {}
+        }
+    }
+    sites
+}
+
+fn site_cbr<'a>(net: &'a ConvNet, site: PruneSite) -> &'a ConvBnRelu {
+    match &net.units[site.unit_idx] {
+        Unit::Cbr(c) => c,
+        Unit::Block(b) => &b.c1,
+        _ => panic!("unit {} is not a prunable site", site.unit_idx),
+    }
+}
+
+/// Per-channel importance scores at a site under a criterion.
+pub fn site_scores(net: &ConvNet, site: PruneSite, criterion: Criterion) -> Vec<f32> {
+    let cbr = site_cbr(net, site);
+    let rows = cbr.filter_rows();
+    let n = cbr.out_channels();
+    (0..n)
+        .map(|i| {
+            let row = rows.row(i);
+            match criterion {
+                Criterion::L1Weight => row.iter().map(|v| v.abs()).sum(),
+                Criterion::L2Weight => row.iter().map(|v| v * v).sum::<f32>().sqrt(),
+                Criterion::L2BnParam => cbr.bn.gamma.data()[i].abs(),
+                Criterion::K34 => moments(row).1.abs(),
+                Criterion::SkewKur => {
+                    let (skew, kur) = moments(row);
+                    skew.abs() + kur.abs()
+                }
+            }
+        })
+        .collect()
+}
+
+/// `(skewness, excess kurtosis)` of a weight row.
+fn moments(row: &[f32]) -> (f32, f32) {
+    let n = row.len().max(1) as f32;
+    let mean = row.iter().sum::<f32>() / n;
+    let m2 = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+    let m3 = row.iter().map(|v| (v - mean).powi(3)).sum::<f32>() / n;
+    let m4 = row.iter().map(|v| (v - mean).powi(4)).sum::<f32>() / n;
+    let sd = m2.sqrt().max(1e-12);
+    (m3 / sd.powi(3), m4 / (m2 * m2).max(1e-24) - 3.0)
+}
+
+/// Remove all channels *not* in `keep` at a site, fixing up the consumer.
+pub fn prune_site(net: &mut ConvNet, site: PruneSite, keep: &[usize]) {
+    assert!(!keep.is_empty(), "cannot prune a site to zero channels");
+    match &mut net.units[site.unit_idx] {
+        Unit::Block(b) => {
+            b.prune_inner(keep);
+            return;
+        }
+        Unit::Cbr(c) => c.keep_filters(keep),
+        _ => panic!("unit {} is not a prunable site", site.unit_idx),
+    }
+    // VGG chain: fix the first downstream consumer.
+    for j in site.unit_idx + 1..net.units.len() {
+        match &mut net.units[j] {
+            Unit::Cbr(c) => {
+                c.keep_in_channels(keep);
+                return;
+            }
+            Unit::Classifier(c) => {
+                c.linear.keep_inputs(keep);
+                return;
+            }
+            Unit::Pool(_) => continue,
+            Unit::Block(_) => panic!("VGG chain should not contain blocks"),
+        }
+    }
+    panic!("pruned site {} has no consumer", site.unit_idx);
+}
+
+/// Zero (soft-prune) the listed channels at a site — SFP's soft masking.
+pub fn soft_zero_site(net: &mut ConvNet, site: PruneSite, idxs: &[usize]) {
+    match &mut net.units[site.unit_idx] {
+        Unit::Cbr(c) => c.zero_filters(idxs),
+        Unit::Block(b) => b.c1.zero_filters(idxs),
+        _ => panic!("unit {} is not a prunable site", site.unit_idx),
+    }
+}
+
+/// Parameters freed by removing one channel at a site (producer row + BN
+/// pair + consumer columns). Used to convert a parameter-reduction target
+/// into a channel count.
+pub fn per_channel_cost(net: &ConvNet, site: PruneSite) -> usize {
+    let producer = {
+        let cbr = site_cbr(net, site);
+        cbr.filter_rows().dims()[1] + 2 // kernel row + (γ, β)
+    };
+    let consumer = match &net.units[site.unit_idx] {
+        Unit::Block(b) => {
+            // c2 loses one input channel: kh·kw weights per output filter.
+            let rows = b.c2.filter_rows();
+            rows.numel() / b.c2.in_channels().max(1)
+        }
+        _ => {
+            // VGG: find the consumer.
+            let mut cost = 0;
+            for j in site.unit_idx + 1..net.units.len() {
+                match &net.units[j] {
+                    Unit::Cbr(c) => {
+                        let rows = c.filter_rows();
+                        cost = rows.numel() / c.in_channels().max(1);
+                        break;
+                    }
+                    Unit::Classifier(c) => {
+                        cost = c.linear.out_features();
+                        break;
+                    }
+                    _ => continue,
+                }
+            }
+            cost
+        }
+    };
+    producer + consumer
+}
+
+/// Outcome of a global pruning pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PruneOutcome {
+    /// Parameters removed (estimate used for the stopping rule).
+    pub removed_params: usize,
+    /// `(site, kept channel indices)` in application order.
+    pub kept: Vec<(PruneSite, Vec<usize>)>,
+}
+
+/// Globally prune the lowest-scoring channels until roughly
+/// `target_fraction` of `P(M)` is removed.
+///
+/// `scores[s]` are per-channel scores for `sites[s]` (higher = keep).
+/// `max_ratio` caps the fraction of channels removable at any one site
+/// (LeGR's HP6); at least two channels always survive per site.
+pub fn global_prune_by_scores(
+    net: &mut ConvNet,
+    sites: &[PruneSite],
+    scores: &[Vec<f32>],
+    target_fraction: f32,
+    max_ratio: f32,
+) -> PruneOutcome {
+    assert_eq!(sites.len(), scores.len());
+    let total_params = net.param_count();
+    let target = (total_params as f32 * target_fraction.clamp(0.0, 0.95)) as usize;
+    // Candidate list: (score, site index, channel).
+    let mut candidates: Vec<(f32, usize, usize)> = Vec::new();
+    for (s, score_vec) in scores.iter().enumerate() {
+        for (ch, &sc) in score_vec.iter().enumerate() {
+            candidates.push((sc, s, ch));
+        }
+    }
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut removed_per_site: Vec<Vec<usize>> = vec![Vec::new(); sites.len()];
+    let mut removed_params = 0usize;
+    for (_, s, ch) in candidates {
+        if removed_params >= target {
+            break;
+        }
+        let site = sites[s];
+        let cap = ((site.channels as f32 * max_ratio) as usize).min(site.channels.saturating_sub(2));
+        if removed_per_site[s].len() >= cap {
+            continue;
+        }
+        removed_per_site[s].push(ch);
+        removed_params += per_channel_cost(net, site);
+    }
+    // Apply: prune sites in order (unit indices are stable — pruning never
+    // removes units).
+    let mut kept_all = Vec::new();
+    for (s, removed) in removed_per_site.iter().enumerate() {
+        if removed.is_empty() {
+            continue;
+        }
+        let site = sites[s];
+        let keep: Vec<usize> = (0..site.channels).filter(|c| !removed.contains(c)).collect();
+        prune_site(net, site, &keep);
+        kept_all.push((site, keep));
+    }
+    PruneOutcome { removed_params, kept: kept_all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{resnet, vgg, ConvNet};
+    use automc_tensor::{rng_from_seed, Tensor};
+
+    fn nets() -> (ConvNet, ConvNet) {
+        let mut rng = rng_from_seed(160);
+        (
+            resnet(20, 4, 10, (3, 8, 8), &mut rng),
+            vgg(13, 8, 10, (3, 8, 8), &mut rng),
+        )
+    }
+
+    #[test]
+    fn site_enumeration() {
+        let (r, v) = nets();
+        let rs = prunable_sites(&r);
+        assert_eq!(rs.len(), 9, "one site per ResNet-20 block");
+        let vs = prunable_sites(&v);
+        assert_eq!(vs.len(), 8, "one site per VGG-13 conv");
+    }
+
+    #[test]
+    fn scores_have_site_lengths() {
+        let (r, _) = nets();
+        for site in prunable_sites(&r) {
+            for crit in [
+                Criterion::L1Weight,
+                Criterion::L2Weight,
+                Criterion::L2BnParam,
+                Criterion::K34,
+                Criterion::SkewKur,
+            ] {
+                let s = site_scores(&r, site, crit);
+                assert_eq!(s.len(), site.channels);
+                assert!(s.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn vgg_prune_keeps_network_runnable() {
+        let (_, mut v) = nets();
+        let mut rng = rng_from_seed(161);
+        let before = v.param_count();
+        for site in prunable_sites(&v) {
+            let keep: Vec<usize> = (0..site.channels / 2).collect();
+            prune_site(&mut v, site, &keep);
+        }
+        assert!(v.param_count() < before);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(v.forward(&x, false).dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn resnet_prune_keeps_network_runnable() {
+        let (mut r, _) = nets();
+        let mut rng = rng_from_seed(162);
+        let before = r.param_count();
+        for site in prunable_sites(&r) {
+            let keep: Vec<usize> = (0..(site.channels - 1).max(1)).collect();
+            prune_site(&mut r, site, &keep);
+        }
+        assert!(r.param_count() < before);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(r.forward(&x, false).dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn global_prune_hits_target_roughly() {
+        let (_, mut v) = nets();
+        let before = v.param_count();
+        let sites = prunable_sites(&v);
+        let scores: Vec<Vec<f32>> = sites
+            .iter()
+            .map(|&s| site_scores(&v, s, Criterion::L2Weight))
+            .collect();
+        let outcome = global_prune_by_scores(&mut v, &sites, &scores, 0.3, 0.9);
+        let after = v.param_count();
+        let actual = 1.0 - after as f32 / before as f32;
+        assert!(outcome.removed_params > 0);
+        assert!(
+            (0.15..=0.5).contains(&actual),
+            "requested ~30% reduction, got {actual}"
+        );
+    }
+
+    #[test]
+    fn max_ratio_caps_per_site_removal() {
+        let (_, mut v) = nets();
+        let sites = prunable_sites(&v);
+        let scores: Vec<Vec<f32>> = sites
+            .iter()
+            .map(|&s| site_scores(&v, s, Criterion::L1Weight))
+            .collect();
+        global_prune_by_scores(&mut v, &sites, &scores, 0.9, 0.5);
+        for site in prunable_sites(&v) {
+            // Original sites had ≥8 channels; at most half may go.
+            assert!(site.channels >= 4, "site kept {} channels", site.channels);
+        }
+    }
+
+    #[test]
+    fn soft_zero_preserves_shapes() {
+        let (mut r, _) = nets();
+        let mut rng = rng_from_seed(163);
+        let sites = prunable_sites(&r);
+        soft_zero_site(&mut r, sites[0], &[0, 1]);
+        let x = Tensor::randn(&[1, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(r.forward(&x, false).dims(), &[1, 10]);
+        let scores = site_scores(&r, sites[0], Criterion::L2Weight);
+        assert_eq!(scores[0], 0.0);
+        assert_eq!(scores[1], 0.0);
+        assert!(scores[2] > 0.0);
+    }
+
+    #[test]
+    fn per_channel_cost_positive_everywhere() {
+        let (r, v) = nets();
+        for net in [&r, &v] {
+            for site in prunable_sites(net) {
+                assert!(per_channel_cost(net, site) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_flops_too() {
+        let (_, mut v) = nets();
+        let before = v.flops();
+        let sites = prunable_sites(&v);
+        let keep: Vec<usize> = (0..sites[0].channels / 2).collect();
+        prune_site(&mut v, sites[0], &keep);
+        assert!(v.flops() < before);
+    }
+}

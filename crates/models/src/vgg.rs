@@ -1,0 +1,94 @@
+use crate::convnet::{ConvNet, ModelKind};
+use crate::unit::{Classifier, ConvBnRelu, Unit};
+use automc_tensor::nn::MaxPool2;
+use automc_tensor::Rng;
+
+/// Per-stage conv counts for each VGG depth at repro scale.
+///
+/// Fidelity note: the original VGG-13/16/19 use five conv stages on 32×32+
+/// inputs and an FC stack. At 8×8 repro scale we use four stages (pooling
+/// after the first three) and a GAP+linear head. Depth ordering is
+/// preserved: 8, 11, and 14 convolutions respectively.
+fn stage_convs(depth: usize) -> [usize; 4] {
+    match depth {
+        13 => [2, 2, 2, 2],
+        16 => [2, 3, 3, 3],
+        19 => [2, 4, 4, 4],
+        other => panic!("unsupported VGG depth {other} (use 13, 16 or 19)"),
+    }
+}
+
+/// Build a CIFAR-style VGG with batch-norm after every convolution.
+///
+/// Stage widths are `[w, 2w, 4w, 4w]` with 2×2 max-pooling between the
+/// first three stages.
+pub fn vgg(
+    depth: usize,
+    base_width: usize,
+    classes: usize,
+    input_dims: (usize, usize, usize),
+    rng: &mut Rng,
+) -> ConvNet {
+    let convs = stage_convs(depth);
+    let widths = [base_width, 2 * base_width, 4 * base_width, 4 * base_width];
+    let mut units = Vec::new();
+    let mut in_c = input_dims.0;
+    for (stage, (&count, &width)) in convs.iter().zip(widths.iter()).enumerate() {
+        for _ in 0..count {
+            units.push(Unit::Cbr(ConvBnRelu::new(in_c, width, 3, 1, 1, true, rng)));
+            in_c = width;
+        }
+        if stage < 3 {
+            units.push(Unit::Pool(MaxPool2::new()));
+        }
+    }
+    units.push(Unit::Classifier(Classifier::new(in_c, classes, rng)));
+    ConvNet::new(units, ModelKind::Vgg(depth), classes, input_dims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automc_tensor::rng_from_seed;
+
+    #[test]
+    fn conv_counts_by_depth() {
+        let mut rng = rng_from_seed(140);
+        for (depth, convs) in [(13usize, 8usize), (16, 11), (19, 14)] {
+            let net = vgg(depth, 8, 10, (3, 8, 8), &mut rng);
+            let n = net
+                .units
+                .iter()
+                .filter(|u| matches!(u, Unit::Cbr(_)))
+                .count();
+            assert_eq!(n, convs, "depth {depth}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported VGG depth")]
+    fn invalid_depth_panics() {
+        let mut rng = rng_from_seed(141);
+        vgg(11, 8, 10, (3, 8, 8), &mut rng);
+    }
+
+    #[test]
+    fn three_pools() {
+        let mut rng = rng_from_seed(142);
+        let net = vgg(16, 8, 10, (3, 8, 8), &mut rng);
+        let pools = net
+            .units
+            .iter()
+            .filter(|u| matches!(u, Unit::Pool(_)))
+            .count();
+        assert_eq!(pools, 3);
+    }
+
+    #[test]
+    fn forward_shape_100_classes() {
+        let mut rng = rng_from_seed(143);
+        let mut net = vgg(19, 8, 100, (3, 8, 8), &mut rng);
+        let x = automc_tensor::Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(net.forward(&x, false).dims(), &[2, 100]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests of the structural-surgery invariants: any legal
+//! sequence of pruning operations must leave the network runnable with
+//! consistent parameter/FLOPs accounting.
+
+use automc_models::surgery::{prunable_sites, prune_site, site_scores, Criterion};
+use automc_models::{resnet, vgg, ConvNet};
+use automc_tensor::{rng_from_seed, Tensor};
+use proptest::prelude::*;
+
+fn check_consistent(net: &mut ConvNet, classes: usize) {
+    let mut rng = rng_from_seed(0xCAFE);
+    let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+    let y = net.forward(&x, false);
+    assert_eq!(y.dims(), &[2, classes]);
+    assert!(y.data().iter().all(|v| v.is_finite()));
+    // Backward must run too (training a pruned net is the common path).
+    let y = net.forward(&x, true);
+    let g = net.backward(&Tensor::ones(y.dims()));
+    assert_eq!(g.dims(), x.dims());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_prune_sequences_keep_resnet_consistent(
+        seed in 0u64..1000,
+        fractions in proptest::collection::vec(0.1f32..0.8, 1..4),
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let mut last_params = net.param_count();
+        for f in fractions {
+            for site in prunable_sites(&net) {
+                let keep_n = ((site.channels as f32 * (1.0 - f)) as usize).max(2).min(site.channels);
+                let keep: Vec<usize> = (0..keep_n).collect();
+                if keep_n < site.channels {
+                    prune_site(&mut net, site, &keep);
+                }
+            }
+            let params = net.param_count();
+            prop_assert!(params <= last_params);
+            last_params = params;
+        }
+        check_consistent(&mut net, 10);
+    }
+
+    #[test]
+    fn random_prune_sequences_keep_vgg_consistent(
+        seed in 0u64..1000,
+        fraction in 0.1f32..0.7,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
+        let before_flops = net.flops();
+        for site in prunable_sites(&net) {
+            let keep_n = ((site.channels as f32 * (1.0 - fraction)) as usize).max(2);
+            if keep_n < site.channels {
+                let keep: Vec<usize> = (0..keep_n).collect();
+                prune_site(&mut net, site, &keep);
+            }
+        }
+        prop_assert!(net.flops() < before_flops);
+        check_consistent(&mut net, 10);
+    }
+
+    #[test]
+    fn scores_are_finite_and_sized(seed in 0u64..500) {
+        let mut rng = rng_from_seed(seed);
+        let net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
+        for site in prunable_sites(&net) {
+            for crit in [
+                Criterion::L1Weight,
+                Criterion::L2Weight,
+                Criterion::L2BnParam,
+                Criterion::K34,
+                Criterion::SkewKur,
+            ] {
+                let s = site_scores(&net, site, crit);
+                prop_assert_eq!(s.len(), site.channels);
+                prop_assert!(s.iter().all(|v| v.is_finite()));
+            }
+        }
+    }
+
+    #[test]
+    fn factorisation_then_prune_stays_consistent(
+        seed in 0u64..500,
+        rank in 1usize..6,
+    ) {
+        let mut rng = rng_from_seed(seed);
+        let mut net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
+        // Factor every eligible conv, then prune every site.
+        net.for_each_cbr_mut(|_, cbr| {
+            cbr.factorize(rank, None);
+        });
+        for site in prunable_sites(&net) {
+            let keep: Vec<usize> = (0..(site.channels / 2).max(2)).collect();
+            if keep.len() < site.channels {
+                prune_site(&mut net, site, &keep);
+            }
+        }
+        check_consistent(&mut net, 10);
+    }
+}

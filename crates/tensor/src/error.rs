@@ -1,0 +1,50 @@
+use std::fmt;
+
+/// Errors produced by fallible tensor operations.
+///
+/// Hot-path kernels use `debug_assert!` internally; the fallible API surface
+/// (`Tensor::try_*`) is for boundaries where shapes arrive from user input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand / first operand dims.
+        lhs: Vec<usize>,
+        /// Right-hand / second operand dims.
+        rhs: Vec<usize>,
+    },
+    /// The data length does not match the product of the dims.
+    LengthMismatch {
+        /// Expected element count (product of dims).
+        expected: usize,
+        /// Actual data length supplied.
+        actual: usize,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,199 @@
+//! im2col / col2im lowering for convolution.
+//!
+//! Convolution forward becomes one matmul per batch item:
+//! `out[oc, oh*ow] = W[oc, ic*kh*kw] · cols[ic*kh*kw, oh*ow]`,
+//! and the backward pass reuses the same buffers via [`col2im`].
+
+use crate::Tensor;
+
+/// Spatial geometry of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ConvGeom {
+    pub in_c: usize,
+    pub in_h: usize,
+    pub in_w: usize,
+    pub kh: usize,
+    pub kw: usize,
+    pub stride: usize,
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    #[inline]
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kh) / self.stride + 1
+    }
+
+    #[inline]
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kw) / self.stride + 1
+    }
+}
+
+/// Lower one image `[C, H, W]` into a `[C*kh*kw, oh*ow]` column matrix.
+///
+/// `img` must have length `C*H*W`; `cols` is overwritten.
+pub(crate) fn im2col_into(img: &[f32], g: ConvGeom, cols: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols_w = oh * ow;
+    debug_assert_eq!(cols.len(), g.in_c * g.kh * g.kw * cols_w);
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let dst = &mut cols[row * cols_w..(row + 1) * cols_w];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        dst[idx..idx + ow].fill(0.0);
+                        idx += ow;
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        dst[idx] = if ix < 0 || ix >= g.in_w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-add a `[C*kh*kw, oh*ow]` column-gradient matrix back into an
+/// image gradient `[C, H, W]` (the adjoint of [`im2col_into`]).
+pub(crate) fn col2im_into(cols: &[f32], g: ConvGeom, img: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let cols_w = oh * ow;
+    debug_assert_eq!(cols.len(), g.in_c * g.kh * g.kw * cols_w);
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
+    img.fill(0.0);
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &mut img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kh {
+            for kx in 0..g.kw {
+                let src = &cols[row * cols_w..(row + 1) * cols_w];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy >= g.in_h as isize {
+                        idx += ow;
+                        continue;
+                    }
+                    let dst_row =
+                        &mut plane[iy as usize * g.in_w..(iy as usize + 1) * g.in_w];
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if ix >= 0 && ix < g.in_w as isize {
+                            dst_row[ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Public convenience: lower a single `[C, H, W]` tensor to columns.
+pub fn im2col(img: &Tensor, kh: usize, kw: usize, stride: usize, pad: usize) -> Tensor {
+    let d = img.dims();
+    debug_assert_eq!(d.len(), 3, "im2col expects [C, H, W]");
+    let g = ConvGeom { in_c: d[0], in_h: d[1], in_w: d[2], kh, kw, stride, pad };
+    let mut cols = Tensor::zeros(&[d[0] * kh * kw, g.out_h() * g.out_w()]);
+    im2col_into(img.data(), g, cols.data_mut());
+    cols
+}
+
+/// Public convenience: the adjoint of [`im2col`].
+pub fn col2im(
+    cols: &Tensor,
+    in_dims: &[usize],
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    debug_assert_eq!(in_dims.len(), 3, "col2im expects [C, H, W] target dims");
+    let g = ConvGeom {
+        in_c: in_dims[0],
+        in_h: in_dims[1],
+        in_w: in_dims[2],
+        kh,
+        kw,
+        stride,
+        pad,
+    };
+    let mut img = Tensor::zeros(in_dims);
+    col2im_into(cols.data(), g, img.data_mut());
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn geometry() {
+        let g = ConvGeom { in_c: 1, in_h: 8, in_w: 8, kh: 3, kw: 3, stride: 1, pad: 1 };
+        assert_eq!((g.out_h(), g.out_w()), (8, 8));
+        let g2 = ConvGeom { stride: 2, ..g };
+        assert_eq!((g2.out_h(), g2.out_w()), (4, 4));
+        let g3 = ConvGeom { kh: 1, kw: 1, pad: 0, ..g };
+        assert_eq!((g3.out_h(), g3.out_w()), (8, 8));
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, no pad: cols equals the flattened image.
+        let img = Tensor::from_slice(&[1, 2, 2], &[1., 2., 3., 4.]);
+        let cols = im2col(&img, 1, 1, 1, 0);
+        assert_eq!(cols.dims(), &[1, 4]);
+        assert_eq!(cols.data(), img.data());
+    }
+
+    #[test]
+    fn im2col_3x3_center_row_is_image() {
+        // With 3x3 kernel pad 1 stride 1, the center row (ky=1, kx=1) of the
+        // column matrix reproduces the image exactly.
+        let mut rng = rng_from_seed(8);
+        let img = Tensor::randn(&[2, 4, 4], 1.0, &mut rng);
+        let cols = im2col(&img, 3, 3, 1, 1);
+        assert_eq!(cols.dims(), &[2 * 9, 16]);
+        for c in 0..2 {
+            let center = cols.row(c * 9 + 4);
+            let plane = &img.data()[c * 16..(c + 1) * 16];
+            assert_eq!(center, plane);
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property the backward pass relies on.
+        let mut rng = rng_from_seed(9);
+        let x = Tensor::randn(&[3, 6, 6], 1.0, &mut rng);
+        let cols_shape_probe = im2col(&x, 3, 3, 2, 1);
+        let y = Tensor::randn(cols_shape_probe.dims(), 1.0, &mut rng);
+        let lhs: f32 = cols_shape_probe
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let back = col2im(&y, &[3, 6, 6], 3, 3, 2, 1);
+        let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

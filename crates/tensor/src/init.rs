@@ -1,0 +1,40 @@
+//! Weight initialisation schemes.
+
+use crate::{Rng, Tensor};
+
+/// Kaiming/He normal initialisation for a weight with `fan_in` inputs.
+///
+/// Standard for ReLU networks: `std = sqrt(2 / fan_in)`.
+pub fn kaiming_normal(dims: &[usize], fan_in: usize, rng: &mut Rng) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::randn(dims, std, rng)
+}
+
+/// Xavier/Glorot uniform initialisation.
+pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Rng) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::uniform(dims, -bound, bound, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = rng_from_seed(10);
+        let w = kaiming_normal(&[10_000], 50, &mut rng);
+        let std = (w.sq_norm() / w.numel() as f32).sqrt();
+        let expect = (2.0f32 / 50.0).sqrt();
+        assert!((std - expect).abs() < 0.02, "std {std} expect {expect}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = rng_from_seed(11);
+        let w = xavier_uniform(&[1000], 10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+    }
+}

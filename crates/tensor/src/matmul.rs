@@ -1,0 +1,156 @@
+//! Blocked matrix multiplication kernels.
+//!
+//! These three kernels cover every contraction the layers need:
+//! `C = A·B` (forward), `C = Aᵀ·B` (weight gradients), `C = A·Bᵀ`
+//! (input gradients). The inner loops are written in `ikj` order so the
+//! innermost loop streams contiguously over both `B` and `C` rows, which the
+//! compiler auto-vectorises.
+
+use crate::Tensor;
+
+/// `C[m,n] = A[m,k] · B[k,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, ka) = (a.dims()[0], a.dims()[1]);
+    let (kb, n) = (b.dims()[0], b.dims()[1]);
+    debug_assert_eq!(ka, kb, "matmul: inner dims {ka} vs {kb}");
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let a_row = &ad[i * ka..(i + 1) * ka];
+        let c_row = &mut cd[i * n..(i + 1) * n];
+        for (p, &apk) in a_row.iter().enumerate() {
+            if apk == 0.0 {
+                continue;
+            }
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += apk * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
+///
+/// Avoids materialising the transpose: iterates rows of `A` and scatters.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (mb, n) = (b.dims()[0], b.dims()[1]);
+    debug_assert_eq!(m, mb, "matmul_at_b: outer dims {m} vs {mb}");
+    let mut c = Tensor::zeros(&[k, n]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let a_row = &ad[i * k..(i + 1) * k];
+        let b_row = &bd[i * n..(i + 1) * n];
+        for (p, &apv) in a_row.iter().enumerate() {
+            if apv == 0.0 {
+                continue;
+            }
+            let c_row = &mut cd[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += apv * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
+///
+/// Inner loop is a dot product over contiguous rows of both operands.
+pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let (k, nb) = (b.dims()[0], b.dims()[1]);
+    debug_assert_eq!(n, nb, "matmul_a_bt: inner dims {n} vs {nb}");
+    let mut c = Tensor::zeros(&[m, k]);
+    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    for i in 0..m {
+        let a_row = &ad[i * n..(i + 1) * n];
+        let c_row = &mut cd[i * k..(i + 1) * k];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &bd[j * n..(j + 1) * n];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *c.at_mut(&[i, j]) = acc;
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = rng_from_seed(3);
+        let a = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[5, 9], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn at_b_matches_explicit_transpose() {
+        let mut rng = rng_from_seed(4);
+        let a = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[6, 8], 1.0, &mut rng);
+        assert_close(&matmul_at_b(&a, &b), &naive(&a.transpose2(), &b), 1e-4);
+    }
+
+    #[test]
+    fn a_bt_matches_explicit_transpose() {
+        let mut rng = rng_from_seed(5);
+        let a = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let b = Tensor::randn(&[8, 4], 1.0, &mut rng);
+        assert_close(&matmul_a_bt(&a, &b), &naive(&a, &b.transpose2()), 1e-4);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut rng = rng_from_seed(6);
+        let a = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(&[4, 4]);
+        for i in 0..4 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        assert_close(&matmul(&a, &eye), &a, 1e-6);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.dims(), &[0, 2]);
+        let a = Tensor::ones(&[2, 1]);
+        let b = Tensor::ones(&[1, 2]);
+        assert_eq!(matmul(&a, &b).data(), &[1., 1., 1., 1.]);
+    }
+}

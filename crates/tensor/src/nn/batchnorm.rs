@@ -1,0 +1,268 @@
+use crate::nn::Layer;
+use crate::optim::Param;
+use crate::Tensor;
+
+/// Batch normalisation over NCHW activations, per channel.
+///
+/// The learnable scale `gamma` is load-bearing for compression: Network
+/// Slimming (C3) L1-regularises it and prunes channels whose `gamma` is
+/// small, and LeGR's `l2_bn_param` criterion reads it. Both access it via
+/// the public fields.
+#[derive(Clone)]
+pub struct BatchNorm2d {
+    /// Per-channel scale `[c]`.
+    pub gamma: Tensor,
+    /// Per-channel shift `[c]`.
+    pub beta: Tensor,
+    /// Gradient of `gamma`.
+    pub grad_gamma: Tensor,
+    /// Gradient of `beta`.
+    pub grad_beta: Tensor,
+    /// Running mean (eval mode) `[c]`.
+    pub running_mean: Tensor,
+    /// Running variance (eval mode) `[c]`.
+    pub running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    // Forward cache (train mode).
+    cached_xhat: Option<Tensor>,
+    cached_invstd: Vec<f32>,
+    cached_dims: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Identity-initialised batch-norm for `channels`.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Tensor::ones(&[channels]),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            cached_xhat: None,
+            cached_invstd: Vec::new(),
+            cached_dims: [0; 4],
+        }
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.gamma.numel()
+    }
+
+    /// Keep only the listed channels (sorted indices).
+    pub fn keep_channels(&mut self, keep: &[usize]) {
+        let pick = |t: &Tensor| {
+            let v: Vec<f32> = keep.iter().map(|&i| t.data()[i]).collect();
+            Tensor::from_slice(&[keep.len()], &v)
+        };
+        self.gamma = pick(&self.gamma);
+        self.beta = pick(&self.beta);
+        self.running_mean = pick(&self.running_mean);
+        self.running_var = pick(&self.running_var);
+        self.grad_gamma = Tensor::zeros(&[keep.len()]);
+        self.grad_beta = Tensor::zeros(&[keep.len()]);
+        self.cached_xhat = None;
+    }
+
+    /// Add `l1 · sign(gamma)` to the gamma gradient (Network Slimming's
+    /// sparsity regulariser, applied between backward and optimizer step).
+    pub fn apply_gamma_l1(&mut self, l1: f32) {
+        for (g, &v) in self.grad_gamma.data_mut().iter_mut().zip(self.gamma.data()) {
+            *g += l1 * v.signum();
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.dims();
+        debug_assert_eq!(d.len(), 4, "batchnorm input must be NCHW");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        debug_assert_eq!(c, self.channels(), "batchnorm: channel mismatch");
+        let plane = h * w;
+        let count = (n * plane).max(1) as f32;
+        let mut out = Tensor::zeros(d);
+        if train {
+            self.cached_dims = [n, c, h, w];
+            self.cached_invstd = vec![0.0; c];
+            let mut xhat = Tensor::zeros(d);
+            for ch in 0..c {
+                let mut mean = 0.0f32;
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    mean += x.data()[base..base + plane].iter().sum::<f32>();
+                }
+                mean /= count;
+                let mut var = 0.0f32;
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    for &v in &x.data()[base..base + plane] {
+                        var += (v - mean) * (v - mean);
+                    }
+                }
+                var /= count;
+                let invstd = 1.0 / (var + self.eps).sqrt();
+                self.cached_invstd[ch] = invstd;
+                // Update running statistics.
+                let rm = &mut self.running_mean.data_mut()[ch];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
+                let rv = &mut self.running_var.data_mut()[ch];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
+                let g = self.gamma.data()[ch];
+                let bshift = self.beta.data()[ch];
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        let xh = (x.data()[base + i] - mean) * invstd;
+                        xhat.data_mut()[base + i] = xh;
+                        out.data_mut()[base + i] = g * xh + bshift;
+                    }
+                }
+            }
+            self.cached_xhat = Some(xhat);
+        } else {
+            for ch in 0..c {
+                let mean = self.running_mean.data()[ch];
+                let invstd = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
+                let g = self.gamma.data()[ch];
+                let bshift = self.beta.data()[ch];
+                for b in 0..n {
+                    let base = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        out.data_mut()[base + i] =
+                            g * (x.data()[base + i] - mean) * invstd + bshift;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self
+            .cached_xhat
+            .as_ref()
+            .expect("BatchNorm2d::backward requires a train-mode forward");
+        let [n, c, h, w] = self.cached_dims;
+        let plane = h * w;
+        let count = (n * plane) as f32;
+        let mut grad_in = Tensor::zeros(grad_out.dims());
+        for ch in 0..c {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for b in 0..n {
+                let base = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let dy = grad_out.data()[base + i];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * xhat.data()[base + i];
+                }
+            }
+            self.grad_beta.data_mut()[ch] += sum_dy;
+            self.grad_gamma.data_mut()[ch] += sum_dy_xhat;
+            let g = self.gamma.data()[ch];
+            let invstd = self.cached_invstd[ch];
+            let k = g * invstd / count;
+            for b in 0..n {
+                let base = (b * c + ch) * plane;
+                for i in 0..plane {
+                    let dy = grad_out.data()[base + i];
+                    let xh = xhat.data()[base + i];
+                    grad_in.data_mut()[base + i] =
+                        k * (count * dy - sum_dy - xh * sum_dy_xhat);
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.gamma, grad: &mut self.grad_gamma, weight_decay: false },
+            Param { value: &mut self.beta, grad: &mut self.grad_beta, weight_decay: false },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.gamma.numel() + self.beta.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn train_forward_normalises_per_channel() {
+        let mut rng = rng_from_seed(60);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[4, 3, 5, 5], 3.0, &mut rng).map(|v| v + 7.0);
+        let y = bn.forward(&x, true);
+        // Each channel of the output should be ~zero-mean unit-var.
+        for ch in 0..3 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                let base = (b * 3 + ch) * 25;
+                vals.extend_from_slice(&y.data()[base..base + 25]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = rng_from_seed(61);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[8, 2, 4, 4], 2.0, &mut rng).map(|v| v + 3.0);
+        // Many train passes converge the running stats to the batch stats.
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        let y_eval = bn.forward(&x, false);
+        let y_train = bn.forward(&x, true);
+        for (a, b) in y_eval.data().iter().zip(y_train.data()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_batchnorm() {
+        let mut rng = rng_from_seed(62);
+        let mut bn = BatchNorm2d::new(2);
+        // Non-identity gamma/beta to exercise full formula.
+        bn.gamma = Tensor::from_slice(&[2], &[1.5, 0.7]);
+        bn.beta = Tensor::from_slice(&[2], &[0.3, -0.2]);
+        let x = Tensor::randn(&[3, 2, 3, 3], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut bn, &x, 0.08);
+        gradcheck::check_param_grads(&mut bn, &x, 0.08);
+    }
+
+    #[test]
+    fn keep_channels_slices_all_state() {
+        let mut bn = BatchNorm2d::new(4);
+        bn.gamma = Tensor::from_slice(&[4], &[1., 2., 3., 4.]);
+        bn.running_mean = Tensor::from_slice(&[4], &[5., 6., 7., 8.]);
+        bn.keep_channels(&[1, 3]);
+        assert_eq!(bn.channels(), 2);
+        assert_eq!(bn.gamma.data(), &[2., 4.]);
+        assert_eq!(bn.running_mean.data(), &[6., 8.]);
+    }
+
+    #[test]
+    fn gamma_l1_pushes_toward_zero() {
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma = Tensor::from_slice(&[2], &[0.5, -0.5]);
+        bn.apply_gamma_l1(0.1);
+        assert_eq!(bn.grad_gamma.data(), &[0.1, -0.1]);
+    }
+}

@@ -1,0 +1,370 @@
+use crate::im2col::{col2im_into, im2col_into, ConvGeom};
+use crate::nn::Layer;
+use crate::optim::Param;
+use crate::{init, matmul, matmul_a_bt, matmul_at_b, Rng, Tensor};
+
+/// 2-D convolution over NCHW input.
+///
+/// The kernel is stored *matricised* as `weight: [out_c, in_c·kh·kw]` — the
+/// exact shape that filter pruning (row removal), channel pruning (column
+/// group removal) and low-rank factorisation (SVD of this matrix) operate
+/// on, so compression methods edit it without reshaping gymnastics.
+#[derive(Clone)]
+pub struct Conv2d {
+    /// Matricised kernel `[out_c, in_c·kh·kw]`.
+    pub weight: Tensor,
+    /// Optional bias `[out_c]` (absent when a batch-norm follows).
+    pub bias: Option<Tensor>,
+    /// Accumulated kernel gradient.
+    pub grad_weight: Tensor,
+    /// Accumulated bias gradient (zero-sized if no bias).
+    pub grad_bias: Tensor,
+    in_c: usize,
+    out_c: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    /// im2col buffers for each batch item from the last forward.
+    cached_cols: Vec<Vec<f32>>,
+    cached_in_dims: [usize; 4],
+}
+
+impl Conv2d {
+    /// Kaiming-initialised convolution.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        let fan_in = in_c * kh * kw;
+        Conv2d {
+            weight: init::kaiming_normal(&[out_c, fan_in], fan_in, rng),
+            bias: bias.then(|| Tensor::zeros(&[out_c])),
+            grad_weight: Tensor::zeros(&[out_c, fan_in]),
+            grad_bias: Tensor::zeros(&[if bias { out_c } else { 0 }]),
+            in_c,
+            out_c,
+            kh,
+            kw,
+            stride,
+            pad,
+            cached_cols: Vec::new(),
+            cached_in_dims: [0; 4],
+        }
+    }
+
+    /// Build from an explicit matricised kernel.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_weight(
+        weight: Tensor,
+        bias: Option<Tensor>,
+        in_c: usize,
+        kh: usize,
+        kw: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        let out_c = weight.dims()[0];
+        debug_assert_eq!(weight.dims()[1], in_c * kh * kw);
+        let gw = Tensor::zeros(weight.dims());
+        let gb = Tensor::zeros(&[bias.as_ref().map_or(0, |b| b.numel())]);
+        Conv2d {
+            weight,
+            bias,
+            grad_weight: gw,
+            grad_bias: gb,
+            in_c,
+            out_c,
+            kh,
+            kw,
+            stride,
+            pad,
+            cached_cols: Vec::new(),
+            cached_in_dims: [0; 4],
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel (filter) count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Kernel height/width.
+    pub fn kernel(&self) -> (usize, usize) {
+        (self.kh, self.kw)
+    }
+
+    /// Stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Padding.
+    pub fn padding(&self) -> usize {
+        self.pad
+    }
+
+    /// FLOPs (multiply–accumulates) for one input of `[in_h, in_w]`.
+    pub fn flops(&self, in_h: usize, in_w: usize) -> u64 {
+        let g = self.geom(in_h, in_w);
+        (self.out_c * self.in_c * self.kh * self.kw) as u64 * (g.out_h() * g.out_w()) as u64
+    }
+
+    fn geom(&self, in_h: usize, in_w: usize) -> ConvGeom {
+        ConvGeom {
+            in_c: self.in_c,
+            in_h,
+            in_w,
+            kh: self.kh,
+            kw: self.kw,
+            stride: self.stride,
+            pad: self.pad,
+        }
+    }
+
+    /// Keep only the listed output filters (sorted indices). Grad state and
+    /// caches are reset.
+    pub fn keep_filters(&mut self, keep: &[usize]) {
+        debug_assert!(keep.iter().all(|&i| i < self.out_c));
+        let cols = self.weight.dims()[1];
+        let mut w = Tensor::zeros(&[keep.len(), cols]);
+        for (ni, &i) in keep.iter().enumerate() {
+            w.row_mut(ni).copy_from_slice(self.weight.row(i));
+        }
+        self.weight = w;
+        if let Some(b) = &self.bias {
+            let nb: Vec<f32> = keep.iter().map(|&i| b.data()[i]).collect();
+            self.bias = Some(Tensor::from_slice(&[keep.len()], &nb));
+        }
+        self.out_c = keep.len();
+        self.reset_grads();
+    }
+
+    /// Keep only the listed input channels (sorted indices): removes the
+    /// corresponding `kh·kw` column blocks of the kernel matrix.
+    pub fn keep_in_channels(&mut self, keep: &[usize]) {
+        debug_assert!(keep.iter().all(|&i| i < self.in_c));
+        let k2 = self.kh * self.kw;
+        let mut w = Tensor::zeros(&[self.out_c, keep.len() * k2]);
+        for o in 0..self.out_c {
+            let src = self.weight.row(o);
+            let dst = w.row_mut(o);
+            for (nc, &c) in keep.iter().enumerate() {
+                dst[nc * k2..(nc + 1) * k2].copy_from_slice(&src[c * k2..(c + 1) * k2]);
+            }
+        }
+        self.weight = w;
+        self.in_c = keep.len();
+        self.reset_grads();
+    }
+
+    /// Reset gradient buffers to match current weight shapes.
+    pub fn reset_grads(&mut self) {
+        self.grad_weight = Tensor::zeros(self.weight.dims());
+        self.grad_bias = Tensor::zeros(&[self.bias.as_ref().map_or(0, |b| b.numel())]);
+        self.cached_cols.clear();
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let d = x.dims();
+        debug_assert_eq!(d.len(), 4, "conv input must be NCHW");
+        debug_assert_eq!(d[1], self.in_c, "conv: channel mismatch");
+        let (n, in_h, in_w) = (d[0], d[2], d[3]);
+        let g = self.geom(in_h, in_w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let col_rows = self.in_c * self.kh * self.kw;
+        let col_len = col_rows * oh * ow;
+        self.cached_in_dims = [n, self.in_c, in_h, in_w];
+        self.cached_cols.resize(n, Vec::new());
+        let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
+        let item = self.in_c * in_h * in_w;
+        let out_item = self.out_c * oh * ow;
+        for b in 0..n {
+            let cols = &mut self.cached_cols[b];
+            cols.resize(col_len, 0.0);
+            im2col_into(&x.data()[b * item..(b + 1) * item], g, cols);
+            let cols_t = Tensor::from_slice(&[col_rows, oh * ow], cols);
+            let y = matmul(&self.weight, &cols_t); // [out_c, oh*ow]
+            let dst = &mut out.data_mut()[b * out_item..(b + 1) * out_item];
+            dst.copy_from_slice(y.data());
+            if let Some(bias) = &self.bias {
+                for (c, &bv) in bias.data().iter().enumerate() {
+                    for v in &mut dst[c * oh * ow..(c + 1) * oh * ow] {
+                        *v += bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, in_c, in_h, in_w] = self.cached_in_dims;
+        debug_assert!(n > 0, "Conv2d::backward before forward");
+        let g = self.geom(in_h, in_w);
+        let (oh, ow) = (g.out_h(), g.out_w());
+        debug_assert_eq!(grad_out.dims(), &[n, self.out_c, oh, ow]);
+        let col_rows = in_c * self.kh * self.kw;
+        let mut grad_in = Tensor::zeros(&[n, in_c, in_h, in_w]);
+        let out_item = self.out_c * oh * ow;
+        let in_item = in_c * in_h * in_w;
+        for b in 0..n {
+            let gout =
+                Tensor::from_slice(&[self.out_c, oh * ow], &grad_out.data()[b * out_item..(b + 1) * out_item]);
+            let cols = Tensor::from_slice(&[col_rows, oh * ow], &self.cached_cols[b]);
+            // dW += gout · colsᵀ
+            self.grad_weight.add_assign(&matmul_a_bt(&gout, &cols));
+            if self.bias.is_some() {
+                for c in 0..self.out_c {
+                    let s: f32 = gout.row(c).iter().sum();
+                    self.grad_bias.data_mut()[c] += s;
+                }
+            }
+            // d cols = Wᵀ · gout, then scatter back to image space.
+            let gcols = matmul_at_b(&self.weight, &gout);
+            col2im_into(
+                gcols.data(),
+                g,
+                &mut grad_in.data_mut()[b * in_item..(b + 1) * in_item],
+            );
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        let mut v = vec![Param {
+            value: &mut self.weight,
+            grad: &mut self.grad_weight,
+            weight_decay: true,
+        }];
+        if let Some(b) = &mut self.bias {
+            v.push(Param { value: b, grad: &mut self.grad_bias, weight_decay: false });
+        }
+        v
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.as_ref().map_or(0, |b| b.numel())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn output_shape_stride_and_pad() {
+        let mut rng = rng_from_seed(50);
+        let mut c = Conv2d::new(3, 8, 3, 3, 1, 1, false, &mut rng);
+        let x = Tensor::randn(&[2, 3, 8, 8], 1.0, &mut rng);
+        assert_eq!(c.forward(&x, true).dims(), &[2, 8, 8, 8]);
+        let mut c2 = Conv2d::new(3, 8, 3, 3, 2, 1, false, &mut rng);
+        assert_eq!(c2.forward(&x, true).dims(), &[2, 8, 4, 4]);
+        let mut c3 = Conv2d::new(3, 4, 1, 1, 1, 0, true, &mut rng);
+        assert_eq!(c3.forward(&x, true).dims(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 conv with identity weights reproduces the input channels.
+        let weight = Tensor::from_slice(&[2, 2], &[1., 0., 0., 1.]);
+        let mut c = Conv2d::from_weight(weight, None, 2, 1, 1, 1, 0);
+        let mut rng = rng_from_seed(51);
+        let x = Tensor::randn(&[1, 2, 3, 3], 1.0, &mut rng);
+        let y = c.forward(&x, true);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn gradcheck_conv() {
+        let mut rng = rng_from_seed(52);
+        let mut c = Conv2d::new(2, 3, 3, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn(&[2, 2, 5, 5], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut c, &x, 0.05);
+        gradcheck::check_param_grads(&mut c, &x, 0.05);
+    }
+
+    #[test]
+    fn gradcheck_strided_conv() {
+        let mut rng = rng_from_seed(53);
+        let mut c = Conv2d::new(2, 2, 3, 3, 2, 1, false, &mut rng);
+        let x = Tensor::randn(&[1, 2, 6, 6], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut c, &x, 0.05);
+        gradcheck::check_param_grads(&mut c, &x, 0.05);
+    }
+
+    #[test]
+    fn keep_filters_prunes_rows() {
+        let mut rng = rng_from_seed(54);
+        let mut c = Conv2d::new(2, 4, 3, 3, 1, 1, true, &mut rng);
+        let before = c.weight.clone();
+        c.keep_filters(&[1, 3]);
+        assert_eq!(c.out_channels(), 2);
+        assert_eq!(c.weight.row(0), before.row(1));
+        assert_eq!(c.weight.row(1), before.row(3));
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        assert_eq!(c.forward(&x, true).dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn keep_in_channels_prunes_column_blocks() {
+        let mut rng = rng_from_seed(55);
+        let mut c = Conv2d::new(3, 2, 3, 3, 1, 1, false, &mut rng);
+        let before = c.weight.clone();
+        c.keep_in_channels(&[0, 2]);
+        assert_eq!(c.in_channels(), 2);
+        assert_eq!(&c.weight.row(0)[0..9], &before.row(0)[0..9]);
+        assert_eq!(&c.weight.row(0)[9..18], &before.row(0)[18..27]);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        assert_eq!(c.forward(&x, true).dims(), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn pruned_then_full_forward_agree_on_kept_channels() {
+        // Pruning filters then running forward == running forward then
+        // selecting the kept output channels.
+        let mut rng = rng_from_seed(56);
+        let mut full = Conv2d::new(2, 4, 3, 3, 1, 1, false, &mut rng);
+        let mut pruned = Conv2d::from_weight(
+            full.weight.clone(),
+            None,
+            2,
+            3,
+            3,
+            1,
+            1,
+        );
+        pruned.keep_filters(&[0, 2]);
+        let x = Tensor::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y_full = full.forward(&x, true);
+        let y_pruned = pruned.forward(&x, true);
+        let hw = 16;
+        assert_eq!(&y_pruned.data()[0..hw], &y_full.data()[0..hw]);
+        assert_eq!(&y_pruned.data()[hw..2 * hw], &y_full.data()[2 * hw..3 * hw]);
+    }
+
+    #[test]
+    fn flops_formula() {
+        let mut rng = rng_from_seed(57);
+        let c = Conv2d::new(4, 8, 3, 3, 1, 1, false, &mut rng);
+        assert_eq!(c.flops(8, 8), (8 * 4 * 9) as u64 * 64);
+        let s = Conv2d::new(4, 8, 3, 3, 2, 1, false, &mut rng);
+        assert_eq!(s.flops(8, 8), (8 * 4 * 9) as u64 * 16);
+    }
+}

@@ -1,0 +1,163 @@
+use crate::nn::Layer;
+use crate::optim::Param;
+use crate::{init, matmul, matmul_a_bt, matmul_at_b, Rng, Tensor};
+
+/// Fully-connected layer: `y = x·Wᵀ + b`.
+///
+/// `weight: [out, in]`, `bias: [out]`. Input `[batch, in]`.
+#[derive(Clone)]
+pub struct Linear {
+    /// Weight matrix `[out, in]` — public so compression code can edit it.
+    pub weight: Tensor,
+    /// Bias vector `[out]`.
+    pub bias: Tensor,
+    /// Accumulated weight gradient.
+    pub grad_weight: Tensor,
+    /// Accumulated bias gradient.
+    pub grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-initialised linear layer.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        Linear {
+            weight: init::kaiming_normal(&[out_features, in_features], in_features, rng),
+            bias: Tensor::zeros(&[out_features]),
+            grad_weight: Tensor::zeros(&[out_features, in_features]),
+            grad_bias: Tensor::zeros(&[out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Build from explicit weights (used by structural surgery and tests).
+    pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
+        let gw = Tensor::zeros(weight.dims());
+        let gb = Tensor::zeros(bias.dims());
+        Linear { weight, bias, grad_weight: gw, grad_bias: gb, cached_input: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.dims()[0]
+    }
+
+    /// Remove the listed input columns (after pruning an upstream layer).
+    ///
+    /// `keep` is the sorted list of surviving input indices.
+    pub fn keep_inputs(&mut self, keep: &[usize]) {
+        let (out, _inf) = (self.out_features(), self.in_features());
+        let mut w = Tensor::zeros(&[out, keep.len()]);
+        for o in 0..out {
+            for (nj, &j) in keep.iter().enumerate() {
+                *w.at_mut(&[o, nj]) = self.weight.at(&[o, j]);
+            }
+        }
+        self.weight = w;
+        self.grad_weight = Tensor::zeros(&[out, keep.len()]);
+        self.cached_input = None;
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        debug_assert_eq!(x.dims()[1], self.in_features(), "linear: input feature mismatch");
+        self.cached_input = Some(x.clone());
+        let mut y = matmul_a_bt(x, &self.weight);
+        let out = self.out_features();
+        for i in 0..y.rows() {
+            let row = y.row_mut(i);
+            for (v, &b) in row.iter_mut().zip(self.bias.data()) {
+                *v += b;
+            }
+        }
+        debug_assert_eq!(y.dims()[1], out);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("Linear::backward called before forward");
+        // dW = gᵀ·x, db = Σ_batch g, dx = g·W
+        self.grad_weight.add_assign(&matmul_at_b(grad_out, x));
+        for i in 0..grad_out.rows() {
+            for (gb, &g) in self.grad_bias.data_mut().iter_mut().zip(grad_out.row(i)) {
+                *gb += g;
+            }
+        }
+        matmul(grad_out, &self.weight)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.weight, grad: &mut self.grad_weight, weight_decay: true },
+            Param { value: &mut self.bias, grad: &mut self.grad_bias, weight_decay: false },
+        ]
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = Linear::from_weights(
+            Tensor::from_slice(&[2, 3], &[1., 0., 0., 0., 1., 0.]),
+            Tensor::from_slice(&[2], &[10., 20.]),
+        );
+        let x = Tensor::from_slice(&[1, 3], &[1., 2., 3.]);
+        let y = l.forward(&x, true);
+        assert_eq!(y.data(), &[11., 22.]);
+    }
+
+    #[test]
+    fn gradcheck_linear() {
+        let mut rng = rng_from_seed(40);
+        let mut l = Linear::new(5, 4, &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut l, &x, 0.05);
+        gradcheck::check_param_grads(&mut l, &x, 0.05);
+    }
+
+    #[test]
+    fn grads_accumulate_across_backwards() {
+        let mut rng = rng_from_seed(41);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[2, 3], 1.0, &mut rng);
+        let g = Tensor::ones(&[2, 2]);
+        l.forward(&x, true);
+        l.backward(&g);
+        let once = l.grad_weight.clone();
+        l.forward(&x, true);
+        l.backward(&g);
+        let twice = l.grad_weight.clone();
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            assert!((2.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn keep_inputs_slices_columns() {
+        let mut l = Linear::from_weights(
+            Tensor::from_slice(&[2, 4], &[1., 2., 3., 4., 5., 6., 7., 8.]),
+            Tensor::zeros(&[2]),
+        );
+        l.keep_inputs(&[0, 2]);
+        assert_eq!(l.in_features(), 2);
+        assert_eq!(l.weight.data(), &[1., 3., 5., 7.]);
+    }
+}

@@ -1,0 +1,178 @@
+use crate::nn::Layer;
+use crate::Tensor;
+
+/// 2×2 max pooling with stride 2 (VGG downsampling).
+///
+/// Odd trailing rows/columns are dropped, matching the usual floor
+/// behaviour.
+#[derive(Default)]
+#[derive(Clone)]
+pub struct MaxPool2 {
+    argmax: Vec<usize>,
+    in_dims: [usize; 4],
+}
+
+impl MaxPool2 {
+    /// New pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for MaxPool2 {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let d = x.dims();
+        debug_assert_eq!(d.len(), 4);
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let (oh, ow) = (h / 2, w / 2);
+        self.in_dims = [n, c, h, w];
+        self.argmax = vec![0; n * c * oh * ow];
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let mut oi = 0usize;
+        for b in 0..n {
+            for ch in 0..c {
+                let plane = &x.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let iy = oy * 2 + dy;
+                                let ix = ox * 2 + dx;
+                                let idx = iy * w + ix;
+                                if plane[idx] > best {
+                                    best = plane[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out.data_mut()[oi] = best;
+                        self.argmax[oi] = (b * c + ch) * h * w + best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        debug_assert!(n > 0, "MaxPool2::backward before forward");
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        for (oi, &src) in self.argmax.iter().enumerate() {
+            grad_in.data_mut()[src] += grad_out.data()[oi];
+        }
+        grad_in
+    }
+}
+
+/// Global average pooling: `[N, C, H, W] → [N, C]`.
+#[derive(Default)]
+#[derive(Clone)]
+pub struct GlobalAvgPool {
+    in_dims: [usize; 4],
+}
+
+impl GlobalAvgPool {
+    /// New pool layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let d = x.dims();
+        debug_assert_eq!(d.len(), 4);
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        self.in_dims = [n, c, h, w];
+        let plane = (h * w).max(1) as f32;
+        let mut out = Tensor::zeros(&[n, c]);
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                let s: f32 = x.data()[base..base + h * w].iter().sum();
+                out.data_mut()[b * c + ch] = s / plane;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        debug_assert!(n > 0, "GlobalAvgPool::backward before forward");
+        let plane = (h * w).max(1) as f32;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_out.data()[b * c + ch] / plane;
+                let base = (b * c + ch) * h * w;
+                grad_in.data_mut()[base..base + h * w].fill(g);
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let x = Tensor::from_slice(
+            &[1, 1, 4, 4],
+            &[1., 2., 5., 6., 3., 4., 7., 8., 9., 10., 13., 14., 11., 12., 15., 16.],
+        );
+        let mut p = MaxPool2::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_slice(&[1, 1, 2, 2], &[1., 9., 3., 4.]);
+        let mut p = MaxPool2::new();
+        p.forward(&x, true);
+        let g = p.backward(&Tensor::from_slice(&[1, 1, 1, 1], &[5.0]));
+        assert_eq!(g.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn maxpool_gradcheck() {
+        let mut rng = rng_from_seed(80);
+        // Use well-separated values so finite differences don't flip argmax.
+        let x = Tensor::randn(&[2, 2, 4, 4], 10.0, &mut rng);
+        let mut p = MaxPool2::new();
+        gradcheck::check_input_grad(&mut p, &x, 0.05);
+    }
+
+    #[test]
+    fn gap_averages() {
+        let x = Tensor::from_slice(&[1, 2, 2, 2], &[1., 2., 3., 4., 10., 10., 10., 10.]);
+        let mut p = GlobalAvgPool::new();
+        let y = p.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+    }
+
+    #[test]
+    fn gap_gradcheck() {
+        let mut rng = rng_from_seed(81);
+        let x = Tensor::randn(&[2, 3, 3, 3], 1.0, &mut rng);
+        let mut p = GlobalAvgPool::new();
+        gradcheck::check_input_grad(&mut p, &x, 0.05);
+    }
+
+    #[test]
+    fn maxpool_drops_odd_edges() {
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let mut p = MaxPool2::new();
+        assert_eq!(p.forward(&x, true).dims(), &[1, 1, 2, 2]);
+    }
+}

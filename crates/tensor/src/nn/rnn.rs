@@ -1,0 +1,245 @@
+use crate::optim::Param;
+use crate::{init, matmul, matmul_a_bt, matmul_at_b, Rng, Tensor};
+
+/// A tanh recurrent cell with explicit backpropagation through time.
+///
+/// `h_t = tanh(x_t·W_xhᵀ + h_{t−1}·W_hhᵀ + b)`
+///
+/// Used by the F_mo evaluator to encode compression-strategy sequences
+/// (Fig. 3 of the paper) and by the RL baseline's recurrent controller.
+/// The step API is explicit rather than trait-based because callers drive
+/// the unrolling themselves (variable sequence lengths, sampled actions).
+#[derive(Clone)]
+pub struct Rnn {
+    /// Input projection `[hidden, input]`.
+    pub w_xh: Tensor,
+    /// Recurrent projection `[hidden, hidden]`.
+    pub w_hh: Tensor,
+    /// Bias `[hidden]`.
+    pub b: Tensor,
+    /// Gradients, same shapes.
+    pub grad_w_xh: Tensor,
+    /// Gradient of `w_hh`.
+    pub grad_w_hh: Tensor,
+    /// Gradient of `b`.
+    pub grad_b: Tensor,
+    hidden: usize,
+    cache: Vec<StepCache>,
+}
+
+#[derive(Clone)]
+struct StepCache {
+    x: Tensor,
+    h_prev: Tensor,
+    h_new: Tensor,
+}
+
+impl Rnn {
+    /// New cell with Kaiming-scaled input weights and small recurrent
+    /// weights (spectral-norm-friendly 0.1/√hidden).
+    pub fn new(input: usize, hidden: usize, rng: &mut Rng) -> Self {
+        Rnn {
+            w_xh: init::kaiming_normal(&[hidden, input], input, rng),
+            w_hh: Tensor::randn(&[hidden, hidden], 0.1 / (hidden as f32).sqrt(), rng),
+            b: Tensor::zeros(&[hidden]),
+            grad_w_xh: Tensor::zeros(&[hidden, input]),
+            grad_w_hh: Tensor::zeros(&[hidden, hidden]),
+            grad_b: Tensor::zeros(&[hidden]),
+            hidden,
+            cache: Vec::new(),
+        }
+    }
+
+    /// Hidden size.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Zero initial state for a batch.
+    pub fn init_state(&self, batch: usize) -> Tensor {
+        Tensor::zeros(&[batch, self.hidden])
+    }
+
+    /// Clear the BPTT cache (start of a new sequence).
+    pub fn reset(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Number of cached steps.
+    pub fn steps(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// One recurrence step; caches state for [`Rnn::backward_through_time`].
+    pub fn step(&mut self, x: &Tensor, h_prev: &Tensor) -> Tensor {
+        debug_assert_eq!(x.dims()[0], h_prev.dims()[0], "rnn: batch mismatch");
+        let mut pre = matmul_a_bt(x, &self.w_xh);
+        pre.add_assign(&matmul_a_bt(h_prev, &self.w_hh));
+        for i in 0..pre.rows() {
+            for (v, &bv) in pre.row_mut(i).iter_mut().zip(self.b.data()) {
+                *v += bv;
+            }
+        }
+        let h_new = pre.map(f32::tanh);
+        self.cache.push(StepCache { x: x.clone(), h_prev: h_prev.clone(), h_new: h_new.clone() });
+        h_new
+    }
+
+    /// Backpropagate through all cached steps.
+    ///
+    /// `grads_h[t]` is the external loss gradient arriving at `h_t` (e.g.
+    /// from a policy head at step `t`); `None` means no external gradient at
+    /// that step. Returns per-step input gradients, oldest first, and
+    /// clears the cache.
+    pub fn backward_through_time(&mut self, grads_h: &[Option<Tensor>]) -> Vec<Tensor> {
+        assert_eq!(grads_h.len(), self.cache.len(), "one grad slot per cached step");
+        let steps = self.cache.len();
+        let batch = self.cache.first().map_or(0, |c| c.x.dims()[0]);
+        let mut dx_all = vec![Tensor::zeros(&[0]); steps];
+        let mut carry = Tensor::zeros(&[batch, self.hidden]);
+        for t in (0..steps).rev() {
+            let cache = &self.cache[t];
+            let mut dh = carry.clone();
+            if let Some(g) = &grads_h[t] {
+                dh.add_assign(g);
+            }
+            // Through tanh: dpre = dh ⊙ (1 − h²)
+            let dpre = dh.zip(&cache.h_new, |g, y| g * (1.0 - y * y));
+            self.grad_w_xh.add_assign(&matmul_at_b(&dpre, &cache.x));
+            self.grad_w_hh.add_assign(&matmul_at_b(&dpre, &cache.h_prev));
+            for i in 0..dpre.rows() {
+                for (gb, &g) in self.grad_b.data_mut().iter_mut().zip(dpre.row(i)) {
+                    *gb += g;
+                }
+            }
+            dx_all[t] = matmul(&dpre, &self.w_xh);
+            carry = matmul(&dpre, &self.w_hh);
+        }
+        self.cache.clear();
+        dx_all
+    }
+
+    /// Parameter views for an optimizer.
+    pub fn params_mut(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param { value: &mut self.w_xh, grad: &mut self.grad_w_xh, weight_decay: true },
+            Param { value: &mut self.w_hh, grad: &mut self.grad_w_hh, weight_decay: true },
+            Param { value: &mut self.b, grad: &mut self.grad_b, weight_decay: false },
+        ]
+    }
+
+    /// Learnable scalar count.
+    pub fn param_count(&self) -> usize {
+        self.w_xh.numel() + self.w_hh.numel() + self.b.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn step_shapes() {
+        let mut rng = rng_from_seed(90);
+        let mut rnn = Rnn::new(4, 6, &mut rng);
+        let h0 = rnn.init_state(3);
+        let x = Tensor::randn(&[3, 4], 1.0, &mut rng);
+        let h1 = rnn.step(&x, &h0);
+        assert_eq!(h1.dims(), &[3, 6]);
+        assert_eq!(rnn.steps(), 1);
+        rnn.reset();
+        assert_eq!(rnn.steps(), 0);
+    }
+
+    #[test]
+    fn bptt_gradcheck_on_final_state() {
+        let mut rng = rng_from_seed(91);
+        let mut rnn = Rnn::new(3, 4, &mut rng);
+        let xs: Vec<Tensor> = (0..3).map(|_| Tensor::randn(&[2, 3], 1.0, &mut rng)).collect();
+        let probe = Tensor::randn(&[2, 4], 1.0, &mut rng);
+
+        let run = |rnn: &mut Rnn, xs: &[Tensor]| -> f32 {
+            rnn.reset();
+            let mut h = rnn.init_state(2);
+            for x in xs {
+                h = rnn.step(x, &h);
+            }
+            let l: f32 = h.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum();
+            rnn.reset();
+            l
+        };
+
+        // Analytic gradients wrt inputs.
+        rnn.reset();
+        let mut h = rnn.init_state(2);
+        for x in &xs {
+            h = rnn.step(x, &h);
+        }
+        let grads = vec![None, None, Some(probe.clone())];
+        let dxs = rnn.backward_through_time(&grads);
+
+        let eps = 1e-2;
+        for (t, x) in xs.iter().enumerate() {
+            for idx in 0..x.numel() {
+                let mut xs_p = xs.clone();
+                xs_p[t].data_mut()[idx] += eps;
+                let lp = run(&mut rnn, &xs_p);
+                let mut xs_m = xs.clone();
+                xs_m[t].data_mut()[idx] -= eps;
+                let lm = run(&mut rnn, &xs_m);
+                let fd = (lp - lm) / (2.0 * eps);
+                let an = dxs[t].data()[idx];
+                assert!(
+                    (fd - an).abs() < 0.05 * (1.0 + fd.abs()),
+                    "step {t} idx {idx}: fd {fd} vs {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bptt_param_gradcheck() {
+        let mut rng = rng_from_seed(92);
+        let mut rnn = Rnn::new(2, 3, &mut rng);
+        let xs: Vec<Tensor> = (0..2).map(|_| Tensor::randn(&[2, 2], 1.0, &mut rng)).collect();
+        let probe = Tensor::randn(&[2, 3], 1.0, &mut rng);
+
+        rnn.reset();
+        let mut h = rnn.init_state(2);
+        for x in &xs {
+            h = rnn.step(x, &h);
+        }
+        let _ = rnn.backward_through_time(&[None, Some(probe.clone())]);
+        let analytic = rnn.grad_w_hh.clone();
+
+        let eps = 1e-2;
+        for idx in 0..rnn.w_hh.numel() {
+            let orig = rnn.w_hh.data()[idx];
+            let eval = |rnn: &mut Rnn| -> f32 {
+                rnn.reset();
+                let mut h = rnn.init_state(2);
+                for x in &xs {
+                    h = rnn.step(x, &h);
+                }
+                rnn.reset();
+                h.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+            };
+            rnn.w_hh.data_mut()[idx] = orig + eps;
+            let lp = eval(&mut rnn);
+            rnn.w_hh.data_mut()[idx] = orig - eps;
+            let lm = eval(&mut rnn);
+            rnn.w_hh.data_mut()[idx] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            let an = analytic.data()[idx];
+            assert!((fd - an).abs() < 0.05 * (1.0 + fd.abs()), "idx {idx}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn param_count_matches() {
+        let mut rng = rng_from_seed(93);
+        let rnn = Rnn::new(5, 7, &mut rng);
+        assert_eq!(rnn.param_count(), 7 * 5 + 7 * 7 + 7);
+    }
+}

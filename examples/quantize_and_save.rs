@@ -1,0 +1,77 @@
+//! Extension features: compress a model, quantize it (the C7 family the
+//! paper lists as future work), and checkpoint the weights to disk.
+//!
+//! Run: `cargo run --release --example quantize_and_save`
+
+use automc::compress::quant::{apply_quant, describe, size_bytes, QuantSpec};
+use automc::compress::{apply_strategy, ExecConfig, Metrics, StrategySpec};
+use automc::data::{DatasetSpec, SyntheticKind};
+use automc::models::checkpoint::{load_weights, save_weights};
+use automc::models::resnet;
+use automc::models::train::{train, Auxiliary, TrainConfig};
+use automc::tensor::rng_from_seed;
+
+fn main() {
+    let mut rng = rng_from_seed(47);
+    let (train_set, test_set) = DatasetSpec {
+        train: 400,
+        test: 200,
+        noise: 0.25,
+        ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+    }
+    .generate();
+    let mut model = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+    println!("pre-training…");
+    train(
+        &mut model,
+        &train_set,
+        &TrainConfig { epochs: 6.0, ..Default::default() },
+        Auxiliary::None,
+        &mut rng,
+    );
+    let base = Metrics::measure(&mut model, &test_set);
+    println!(
+        "base: {} params = {} bytes (f32), {:.1}% accuracy",
+        base.params,
+        size_bytes(&model, 32),
+        base.acc * 100.0
+    );
+
+    // 1. Structured pruning first…
+    let exec = ExecConfig { pretrain_epochs: 6.0, ..Default::default() };
+    let prune = StrategySpec::Ns { ft_epochs: 0.4, ratio: 0.3, max_prune: 0.9 };
+    println!("applying {prune} …");
+    apply_strategy(&prune, &mut model, &train_set, &exec, &mut rng);
+
+    // 2. …then 8-bit quantization-aware tuning on top.
+    let quant = QuantSpec { bits: 8, qat_epochs: 0.2 };
+    println!("applying {} …", describe(&quant));
+    apply_quant(&quant, &mut model, &train_set, &exec, &mut rng);
+    let compressed = Metrics::measure(&mut model, &test_set);
+    println!(
+        "compressed: {} params = {} bytes (int8), {:.1}% accuracy",
+        compressed.params,
+        size_bytes(&model, quant.bits),
+        compressed.acc * 100.0
+    );
+    println!(
+        "total size reduction: {:.1}×",
+        size_bytes_ratio(base.params, compressed.params, quant.bits)
+    );
+
+    // 3. Checkpoint round-trip.
+    let path = std::env::temp_dir().join("automc-quickstart.automc");
+    save_weights(&mut model, &path).expect("save");
+    // Rebuild the same architecture (same seed path ⇒ same structure after
+    // identical surgery) and restore into a fresh copy.
+    let mut restored = model.clone_net();
+    load_weights(&mut restored, &path).expect("load");
+    let again = Metrics::measure(&mut restored, &test_set);
+    assert!((again.acc - compressed.acc).abs() < 1e-6);
+    println!("checkpoint round-trip verified at {}", path.display());
+    let _ = std::fs::remove_file(&path);
+}
+
+fn size_bytes_ratio(base_params: usize, new_params: usize, bits: u32) -> f32 {
+    (base_params as f32 * 4.0) / (new_params as f32 * bits as f32 / 8.0)
+}

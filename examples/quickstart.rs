@@ -1,0 +1,72 @@
+//! Quickstart: compress a pre-trained CNN with a single hand-picked
+//! compression strategy and inspect the paper's metrics (PR / FR / AR).
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use automc::compress::{apply_strategy, ExecConfig, Metrics, StrategySpec};
+use automc::data::{DatasetSpec, SyntheticKind};
+use automc::models::surgery::Criterion;
+use automc::models::train::{evaluate, train, Auxiliary, TrainConfig};
+use automc::models::resnet;
+use automc::tensor::rng_from_seed;
+
+fn main() {
+    let mut rng = rng_from_seed(7);
+
+    // 1. A task: a synthetic 10-class dataset and a small ResNet-20.
+    let (train_set, test_set) = DatasetSpec {
+        train: 600,
+        test: 300,
+        noise: 0.25,
+        ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+    }
+    .generate();
+    let mut model = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+
+    // 2. Pre-train it.
+    println!("pre-training ResNet-20…");
+    train(
+        &mut model,
+        &train_set,
+        &TrainConfig { epochs: 8.0, ..Default::default() },
+        Auxiliary::None,
+        &mut rng,
+    );
+    let base = Metrics::measure(&mut model, &test_set);
+    println!(
+        "base model: {} params, {} FLOPs, {:.1}% accuracy",
+        base.params,
+        base.flops,
+        base.acc * 100.0
+    );
+
+    // 3. Apply one compression strategy: LeGR filter pruning that removes
+    //    ~30% of the parameters, then fine-tunes.
+    let strategy = StrategySpec::Legr {
+        ft_epochs: 0.4, // ×E₀ fine-tuning budget
+        ratio: 0.3,     // remove 30% of parameters
+        max_prune: 0.9,
+        evo_epochs: 0.4,
+        criterion: Criterion::L2Weight,
+    };
+    println!("applying {strategy} …");
+    let exec = ExecConfig { pretrain_epochs: 8.0, ..Default::default() };
+    apply_strategy(&strategy, &mut model, &train_set, &exec, &mut rng);
+
+    // 4. Inspect the result.
+    let compressed = Metrics::measure(&mut model, &test_set);
+    println!(
+        "compressed:  {} params, {} FLOPs, {:.1}% accuracy",
+        compressed.params,
+        compressed.flops,
+        compressed.acc * 100.0
+    );
+    println!(
+        "PR = {:.1}%   FR = {:.1}%   AR = {:+.2}%",
+        compressed.pr(&base) * 100.0,
+        compressed.fr(&base) * 100.0,
+        compressed.ar(&base) * 100.0
+    );
+    let final_acc = evaluate(&mut model, &test_set);
+    assert!((final_acc - compressed.acc).abs() < 1e-6);
+}

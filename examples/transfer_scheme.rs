@@ -1,0 +1,73 @@
+//! Transfer a compression scheme across model depths (the paper's §4.4):
+//! compose a two-strategy scheme, apply it to ResNet-20, then re-execute
+//! the *same* scheme on a deeper ResNet-56.
+//!
+//! Run: `cargo run --release --example transfer_scheme`
+
+use automc::compress::{execute_scheme, ExecConfig, Metrics, StrategySpace};
+use automc::data::{DatasetSpec, SyntheticKind};
+use automc::models::resnet;
+use automc::models::train::{train, Auxiliary, TrainConfig};
+use automc::search::transfer::transfer_scheme;
+use automc::tensor::rng_from_seed;
+
+fn main() {
+    let mut rng = rng_from_seed(31);
+    let (train_set, test_set) = DatasetSpec {
+        train: 400,
+        test: 200,
+        noise: 0.25,
+        ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+    }
+    .generate();
+    let space = StrategySpace::full();
+    let exec = ExecConfig { pretrain_epochs: 5.0, ..Default::default() };
+
+    // A two-step scheme: NS channel pruning followed by SFP — picked from
+    // the strategy grid by id.
+    let ns = space
+        .iter()
+        .find(|(_, s)| {
+            matches!(s, automc::compress::StrategySpec::Ns { ratio, .. } if (*ratio - 0.2).abs() < 1e-6)
+        })
+        .unwrap()
+        .0;
+    let sfp = space
+        .iter()
+        .find(|(_, s)| {
+            matches!(s, automc::compress::StrategySpec::Sfp { ratio, .. } if (*ratio - 0.2).abs() < 1e-6)
+        })
+        .unwrap()
+        .0;
+    let scheme = vec![ns, sfp];
+    println!("scheme:");
+    for &sid in &scheme {
+        println!("  {}", space.spec(sid));
+    }
+
+    for depth in [20usize, 56] {
+        let mut model = resnet(depth, 4, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut model,
+            &train_set,
+            &TrainConfig { epochs: 5.0, ..Default::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        let base = Metrics::measure(&mut model, &test_set);
+        let outcome = if depth == 20 {
+            // Execute directly on the source model.
+            execute_scheme(&model, &base, &scheme, &space, &train_set, &test_set, &exec, &mut rng).1
+        } else {
+            // Transfer to the deeper target.
+            transfer_scheme(&scheme, &model, &base, &space, &train_set, &test_set, &exec, &mut rng)
+        };
+        println!(
+            "ResNet-{depth}: base acc {:.1}% → compressed acc {:.1}%  (PR {:.1}%, FR {:.1}%)",
+            base.acc * 100.0,
+            outcome.metrics.acc * 100.0,
+            outcome.pr * 100.0,
+            outcome.fr * 100.0
+        );
+    }
+}

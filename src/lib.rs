@@ -1,0 +1,15 @@
+//! # automc
+//!
+//! Facade crate for the AutoMC reproduction workspace. Re-exports every
+//! subsystem under one roof so examples and downstream users need a single
+//! dependency.
+//!
+//! See the repository `README.md` for the architecture overview and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use automc_compress as compress;
+pub use automc_core as search;
+pub use automc_data as data;
+pub use automc_knowledge as knowledge;
+pub use automc_models as models;
+pub use automc_tensor as tensor;
