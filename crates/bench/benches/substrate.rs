@@ -1,11 +1,18 @@
 //! Microbenchmarks of the substrate the experiments stand on: tensor
 //! kernels, layer passes, and full-model forward/backward.
+//!
+//! The `parallel_kernels` group additionally times the threaded kernels
+//! at 1 thread vs. the full pool and writes the raw medians to
+//! `target/automc-results/BENCH_kernels.json` for machine consumption.
 
+use automc_json::{obj, ToJson};
 use automc_models::resnet;
 use automc_tensor::nn::{Conv2d, Layer};
+use automc_tensor::par::{current_threads, with_threads};
 use automc_tensor::{matmul, rng_from_seed, Tensor};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_matmul(c: &mut Criterion) {
     let mut rng = rng_from_seed(1);
@@ -52,9 +59,99 @@ fn bench_svd(c: &mut Criterion) {
     });
 }
 
+/// Median wall-clock of `iters` runs of `f`, in nanoseconds.
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn bench_parallel_kernels(c: &mut Criterion) {
+    let mut rng = rng_from_seed(5);
+    let a = Tensor::randn(&[192, 192], 1.0, &mut rng);
+    let b = Tensor::randn(&[192, 192], 1.0, &mut rng);
+    let mut conv = Conv2d::new(8, 16, 3, 3, 1, 1, false, &mut rng);
+    let x = Tensor::randn(&[8, 8, 12, 12], 1.0, &mut rng);
+    let y = conv.forward(&x, true);
+    let g = Tensor::ones(y.dims());
+
+    for (tag, threads) in [("t1", 1), ("auto", 0)] {
+        let run = move |f: &mut dyn FnMut()| {
+            if threads == 1 {
+                with_threads(1, || f());
+            } else {
+                f();
+            }
+        };
+        c.bench_function(format!("par_matmul_192_{tag}"), |bch| {
+            bch.iter(|| run(&mut || drop(black_box(matmul(black_box(&a), black_box(&b))))))
+        });
+        c.bench_function(format!("par_conv3x3_b8_fwd_{tag}"), |bch| {
+            bch.iter(|| run(&mut || drop(black_box(conv.forward(black_box(&x), true)))))
+        });
+        c.bench_function(format!("par_conv3x3_b8_bwd_{tag}"), |bch| {
+            bch.iter(|| run(&mut || drop(black_box(conv.backward(black_box(&g))))))
+        });
+    }
+
+    // Machine-readable medians for the speedup tracking script. Keep the
+    // sample count tiny under `cargo test` (bench targets double as smoke
+    // tests there).
+    let test_mode = std::env::args().any(|arg| arg == "--test");
+    let iters = if test_mode { 3 } else { 31 };
+    let mut entries = Vec::new();
+    for (tag, threads) in [("t1", 1usize), ("auto", 0)] {
+        let eff_threads = if threads == 1 { 1 } else { current_threads() };
+        let measure = |f: &mut dyn FnMut()| -> u64 {
+            if threads == 1 {
+                with_threads(1, || median_ns(iters, &mut *f))
+            } else {
+                median_ns(iters, &mut *f)
+            }
+        };
+        let mm = measure(&mut || drop(black_box(matmul(black_box(&a), black_box(&b)))));
+        let cf = measure(&mut || drop(black_box(conv.forward(black_box(&x), true))));
+        let cb = measure(&mut || drop(black_box(conv.backward(black_box(&g)))));
+        for (name, ns) in
+            [("matmul_192", mm), ("conv3x3_b8_fwd", cf), ("conv3x3_b8_bwd", cb)]
+        {
+            entries.push(obj(vec![
+                ("kernel", name.to_json()),
+                ("mode", tag.to_json()),
+                ("threads", eff_threads.to_json()),
+                ("median_ns", ns.to_json()),
+            ]));
+        }
+    }
+    let report = obj(vec![
+        ("bench", "parallel_kernels".to_json()),
+        ("iters", iters.to_json()),
+        ("results", automc_json::Value::Arr(entries)),
+    ]);
+    let dir = automc_bench::cache::cache_dir();
+    let path = dir.join("BENCH_kernels.json");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        match std::fs::write(&path, report.to_string_pretty()) {
+            Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
 criterion_group! {
     name = substrate;
     config = Criterion::default().sample_size(20);
     targets = bench_matmul, bench_conv_forward_backward, bench_resnet_pass, bench_svd
 }
-criterion_main!(substrate);
+criterion_group! {
+    name = parallel_kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_parallel_kernels
+}
+criterion_main!(substrate, parallel_kernels);

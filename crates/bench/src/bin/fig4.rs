@@ -10,7 +10,8 @@ use automc_bench::scale::{exp1, exp2, prepare_task};
 use automc_compress::StrategySpace;
 
 fn main() {
-    let (seed, fresh) = automc_bench::parse_args();
+    let args = automc_bench::parse_args();
+    let (seed, fresh) = (args.seed, args.fresh);
     println!("Figure 4 reproduction (seed {seed})");
     let space = StrategySpace::full();
     for exp in [exp1(), exp2()] {

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p automc-bench --bin fig5 [--seed N] [--fresh]`
 
-use automc_bench::harness::{automc_embeddings, run_search, Algo};
+use automc_bench::harness::{automc_embeddings, run_fingerprint, run_search, Algo};
 use automc_bench::report::render_front;
 use automc_bench::scale::{exp1, exp2, prepare_task};
 use automc_bench::{cache, parse_args};
@@ -30,7 +30,8 @@ fn front_of(history: &SearchHistory, gamma: f32) -> Vec<(f32, f32)> {
 }
 
 fn main() {
-    let (seed, fresh) = parse_args();
+    let args = parse_args();
+    let (seed, fresh) = (args.seed, args.fresh);
     println!("Figure 5 reproduction (seed {seed})");
     let full_space = StrategySpace::full();
     let legr_space = StrategySpace::for_methods(&[MethodId::Legr]);
@@ -51,7 +52,8 @@ fn main() {
                            fresh: bool|
          -> SearchHistory {
             let key = format!("fig5_{}_{}_s{seed}", exp.name, label);
-            cache::load_or(&key, fresh, || {
+            let fp = run_fingerprint(&exp, seed);
+            cache::load_or(&key, &fp, fresh, || {
                 eprintln!("[fig5] running {label} on {}…", exp.name);
                 let emb = automc_embeddings(space, space_tag, seed, false, use_kg, use_exp);
                 let mut rng = rng_from_seed(seed ^ label.len() as u64);

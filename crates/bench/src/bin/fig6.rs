@@ -9,7 +9,7 @@ use automc_bench::scale::{exp1, exp2, prepare_task};
 use automc_compress::StrategySpace;
 
 fn main() {
-    let (seed, _) = automc_bench::parse_args();
+    let seed = automc_bench::parse_args().seed;
     println!("Figure 6 reproduction (seed {seed}) — AutoMC's searched schemes\n");
     let space = StrategySpace::full();
     for exp in [exp1(), exp2()] {

@@ -10,7 +10,8 @@ use automc_bench::report::render_rows;
 use automc_bench::scale::{exp1, exp2};
 
 fn main() {
-    let (seed, fresh) = automc_bench::parse_args();
+    let args = automc_bench::parse_args();
+    let (seed, fresh) = (args.seed, args.fresh);
     println!("Table 2 reproduction (seed {seed})");
     for exp in [exp1(), exp2()] {
         let label = match exp.name {

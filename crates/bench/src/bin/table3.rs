@@ -8,8 +8,8 @@
 //! Run: `cargo run --release -p automc-bench --bin table3 [--seed N] [--fresh]`
 
 use automc_bench::harness::{
-    automc_embeddings, best_scheme_in_band, final_row, method_row_quick, run_search, Algo,
-    FinalRow,
+    automc_embeddings, best_scheme_in_band, final_row, method_row_quick, run_fingerprint,
+    run_search, Algo, FinalRow,
 };
 use automc_bench::scale::{exp1, exp2, prepare_task, prepare_task_for_model, transfer_targets};
 use automc_bench::{cache, parse_args};
@@ -22,7 +22,8 @@ fn model_label(kind: ModelKind, exp_name: &str) -> String {
 }
 
 fn main() {
-    let (seed, fresh) = parse_args();
+    let args = parse_args();
+    let (seed, fresh) = (args.seed, args.fresh);
     println!("Table 3 reproduction (seed {seed}) — target pruning rate 40%");
     println!("cells: PR(%) / FR(%) / Acc(%)\n");
     let space = StrategySpace::full();
@@ -49,18 +50,19 @@ fn main() {
 
         for target in targets {
             let key = format!("table3_{}_{}_s{seed}", exp.name, target).replace(['-', ' '], "_");
+            let fp = run_fingerprint(&exp, seed);
             let rows: Vec<FinalRow> = if let Some(rows) = (!fresh)
-                .then(|| cache::load::<Vec<FinalRow>>(&key))
+                .then(|| cache::load::<Vec<FinalRow>>(&key, &fp))
                 .flatten()
             {
                 eprintln!("[cache] reusing {key}");
                 rows
             } else {
-                let mut task = prepare_task_for_model(&exp, target, seed);
+                let task = prepare_task_for_model(&exp, target, seed);
                 let mut rows = Vec::new();
                 for method in MethodId::ALL {
                     eprintln!("[table3] {} on {target}…", method.name());
-                    rows.push(method_row_quick(&mut task, method, 0.4, seed));
+                    rows.push(method_row_quick(&task, method, 0.4, seed));
                 }
                 for (name, scheme) in &schemes {
                     match scheme {
@@ -80,7 +82,7 @@ fn main() {
                         }),
                     }
                 }
-                cache::store(&key, &rows);
+                cache::store(&key, &fp, &rows);
                 rows
             };
             println!("== {} ==", model_label(target, exp.name));

@@ -4,14 +4,23 @@
 //! 4/6 reuse Table 2's searches through this cache. Files live under
 //! `target/automc-results/` and are plain JSON — inspectable and
 //! hand-deletable.
+//!
+//! Every entry is wrapped in an envelope carrying a *fingerprint* of the
+//! run configuration (seed + scale-config summary). Keys alone proved
+//! unsafe: a cached Table 2 run from one `--seed`/scale combination was
+//! silently reused for another. A fingerprint mismatch — including any
+//! pre-envelope cache file — is treated as a miss and recomputed.
 
-use serde::{de::DeserializeOwned, Serialize};
+use automc_json::{field, obj, FromJson, ToJson, Value};
 use std::fs;
 use std::path::PathBuf;
 
-/// Directory holding the cache files.
+/// Directory holding the cache files. Anchored to the workspace `target/`
+/// directory via the crate manifest, so binaries, tests, and benches agree
+/// on the location regardless of their working directory.
 pub fn cache_dir() -> PathBuf {
-    let base = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+    let base = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").into());
     PathBuf::from(base).join("automc-results")
 }
 
@@ -20,43 +29,56 @@ pub fn cache_path(key: &str) -> PathBuf {
     cache_dir().join(format!("{key}.json"))
 }
 
-/// Load a cached value, if present and parseable.
-pub fn load<T: DeserializeOwned>(key: &str) -> Option<T> {
+fn read_envelope(key: &str) -> Option<(String, Value)> {
     let text = fs::read_to_string(cache_path(key)).ok()?;
-    serde_json::from_str(&text).ok()
+    let v = automc_json::parse(&text).ok()?;
+    let fp: String = field(&v, "fingerprint")?;
+    let value = v.get("value")?.clone();
+    Some((fp, value))
 }
 
-/// Store a value (best-effort: cache failures only warn).
-pub fn store<T: Serialize>(key: &str, value: &T) {
+/// Load a cached value if present, parseable, and recorded under the same
+/// fingerprint; anything else is a miss.
+pub fn load<T: FromJson>(key: &str, fingerprint: &str) -> Option<T> {
+    let (fp, value) = read_envelope(key)?;
+    if fp != fingerprint {
+        eprintln!("[cache] {key}: fingerprint mismatch ({fp} != {fingerprint}), recomputing");
+        return None;
+    }
+    T::from_json(&value)
+}
+
+/// Store a value under a fingerprint (best-effort: cache failures only warn).
+pub fn store<T: ToJson>(key: &str, fingerprint: &str, value: &T) {
     let dir = cache_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create cache dir {dir:?}: {e}");
         return;
     }
-    match serde_json::to_string_pretty(value) {
-        Ok(text) => {
-            if let Err(e) = fs::write(cache_path(key), text) {
-                eprintln!("warning: cannot write cache entry {key}: {e}");
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise cache entry {key}: {e}"),
+    let envelope = obj(vec![
+        ("fingerprint", fingerprint.to_json()),
+        ("value", value.to_json()),
+    ]);
+    if let Err(e) = fs::write(cache_path(key), envelope.to_string_pretty()) {
+        eprintln!("warning: cannot write cache entry {key}: {e}");
     }
 }
 
 /// Load from cache unless `fresh`, else compute and store.
-pub fn load_or<T: Serialize + DeserializeOwned>(
+pub fn load_or<T: ToJson + FromJson>(
     key: &str,
+    fingerprint: &str,
     fresh: bool,
     compute: impl FnOnce() -> T,
 ) -> T {
     if !fresh {
-        if let Some(v) = load(key) {
+        if let Some(v) = load(key, fingerprint) {
             eprintln!("[cache] reusing {key}");
             return v;
         }
     }
     let v = compute();
-    store(key, &v);
+    store(key, fingerprint, &v);
     v
 }
 
@@ -67,24 +89,48 @@ mod tests {
     #[test]
     fn roundtrip_and_load_or() {
         let key = "unit-test-entry";
-        store(key, &vec![1u32, 2, 3]);
-        let back: Option<Vec<u32>> = load(key);
+        let fp = "s1|test";
+        store(key, fp, &vec![1u32, 2, 3]);
+        let back: Option<Vec<u32>> = load(key, fp);
         assert_eq!(back, Some(vec![1, 2, 3]));
         let mut computed = false;
-        let v: Vec<u32> = load_or(key, false, || {
+        let v: Vec<u32> = load_or(key, fp, false, || {
             computed = true;
             vec![9]
         });
         assert_eq!(v, vec![1, 2, 3]);
         assert!(!computed, "cache hit must skip compute");
-        let v: Vec<u32> = load_or(key, true, || vec![9]);
+        let v: Vec<u32> = load_or(key, fp, true, || vec![9]);
         assert_eq!(v, vec![9], "--fresh recomputes");
         let _ = std::fs::remove_file(cache_path(key));
     }
 
     #[test]
+    fn fingerprint_mismatch_is_a_miss() {
+        let key = "unit-test-fingerprint";
+        store(key, "s1|small", &7u32);
+        assert_eq!(load::<u32>(key, "s1|small"), Some(7));
+        assert_eq!(load::<u32>(key, "s2|small"), None, "other seed must miss");
+        assert_eq!(load::<u32>(key, "s1|large"), None, "other scale must miss");
+        let v: u32 = load_or(key, "s2|small", false, || 9);
+        assert_eq!(v, 9, "mismatch must recompute");
+        assert_eq!(load::<u32>(key, "s2|small"), Some(9), "recompute overwrites");
+        let _ = std::fs::remove_file(cache_path(key));
+    }
+
+    #[test]
+    fn legacy_unwrapped_entry_is_a_miss() {
+        let key = "unit-test-legacy";
+        let _ = fs::create_dir_all(cache_dir());
+        // Pre-envelope format: the bare value, no fingerprint.
+        fs::write(cache_path(key), "[1, 2, 3]\n").unwrap();
+        assert_eq!(load::<Vec<u32>>(key, "s1|test"), None);
+        let _ = std::fs::remove_file(cache_path(key));
+    }
+
+    #[test]
     fn missing_entry_is_none() {
-        let v: Option<Vec<u32>> = load("definitely-not-present");
+        let v: Option<Vec<u32>> = load("definitely-not-present", "s1|x");
         assert!(v.is_none());
     }
 }

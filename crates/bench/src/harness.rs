@@ -13,14 +13,21 @@ use automc_knowledge::{
     generate_experience, learn_embeddings, EmbeddingConfig, ExperienceCorpus, ExperienceRecord,
     MicroTask,
 };
+use automc_json::{field, obj, FromJson, ToJson, Value};
 use automc_models::surgery::Criterion;
 use automc_models::train::AuxKind;
 use automc_models::ModelKind;
-use automc_tensor::rng_from_seed;
-use serde::{Deserialize, Serialize};
+use automc_tensor::{par, rng_for_task, rng_from_seed};
+
+/// The cache fingerprint of a prepared-task run: every cached artifact
+/// derived from a `PreparedTask` records this and is a miss under any
+/// other seed or scale configuration.
+pub fn run_fingerprint(scale: &ExperimentScale, seed: u64) -> String {
+    format!("s{seed}|{}", scale.fingerprint())
+}
 
 /// One row of Table 2 / Table 3.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FinalRow {
     /// Algorithm / method name.
     pub algorithm: String,
@@ -38,6 +45,36 @@ pub struct FinalRow {
     pub inc: f32,
     /// The scheme behind the row (None for the baseline row).
     pub scheme: Option<Scheme>,
+}
+
+impl ToJson for FinalRow {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("algorithm", self.algorithm.to_json()),
+            ("params", self.params.to_json()),
+            ("pr", self.pr.to_json()),
+            ("flops", self.flops.to_json()),
+            ("fr", self.fr.to_json()),
+            ("acc", self.acc.to_json()),
+            ("inc", self.inc.to_json()),
+            ("scheme", self.scheme.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FinalRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(FinalRow {
+            algorithm: field(v, "algorithm")?,
+            params: field(v, "params")?,
+            pr: field(v, "pr")?,
+            flops: field(v, "flops")?,
+            fr: field(v, "fr")?,
+            acc: field(v, "acc")?,
+            inc: field(v, "inc")?,
+            scheme: field(v, "scheme")?,
+        })
+    }
 }
 
 impl FinalRow {
@@ -147,7 +184,7 @@ pub fn method_grid(method: MethodId, ratio: f32) -> Vec<StrategySpec> {
 /// Grid-search a method on the search sample, then run the winning config
 /// on the full training data and report its row.
 pub fn method_baseline_row(
-    task: &mut PreparedTask,
+    task: &PreparedTask,
     method: MethodId,
     ratio: f32,
     seed: u64,
@@ -160,12 +197,13 @@ pub fn method_baseline_row(
         (ratio * 100.0) as u32
     )
     .replace(['-', ' '], "_");
-    if let Some(row) = cache::load::<FinalRow>(&key) {
+    let fp = run_fingerprint(&task.scale, seed);
+    if let Some(row) = cache::load::<FinalRow>(&key, &fp) {
         eprintln!("[cache] reusing {key}");
         return row;
     }
     let row = method_baseline_row_uncached(task, method, ratio, seed);
-    cache::store(&key, &row);
+    cache::store(&key, &fp, &row);
     row
 }
 
@@ -173,7 +211,7 @@ pub fn method_baseline_row(
 /// 4 extra models × 6 methods; re-running the grid on every target would
 /// dominate the budget) and run the grid's lead configuration directly.
 pub fn method_row_quick(
-    task: &mut PreparedTask,
+    task: &PreparedTask,
     method: MethodId,
     ratio: f32,
     seed: u64,
@@ -186,27 +224,31 @@ pub fn method_row_quick(
         (ratio * 100.0) as u32
     )
     .replace(['-', ' '], "_");
-    if let Some(row) = cache::load::<FinalRow>(&key) {
+    let fp = run_fingerprint(&task.scale, seed);
+    if let Some(row) = cache::load::<FinalRow>(&key, &fp) {
         eprintln!("[cache] reusing {key}");
         return row;
     }
-    let mut rng = rng_from_seed(seed ^ 0x7A ^ method.label().len() as u64);
+    let mut rng = rng_for_task(seed ^ 0x7A00, method as u64);
     let spec = method_grid(method, ratio)[0];
     let mut model = task.base_model.clone_net();
     automc_compress::apply_strategy(&spec, &mut model, &task.train_set, &task.exec, &mut rng);
     let metrics = Metrics::measure(&mut model, &task.test_set);
     let row = FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None);
-    cache::store(&key, &row);
+    cache::store(&key, &fp, &row);
     row
 }
 
 fn method_baseline_row_uncached(
-    task: &mut PreparedTask,
+    task: &PreparedTask,
     method: MethodId,
     ratio: f32,
     seed: u64,
 ) -> FinalRow {
-    let mut rng = rng_from_seed(seed ^ (method.label().len() as u64) ^ ((ratio * 100.0) as u64) << 8);
+    // Task-id derivation keeps every (method, ratio) pair on its own RNG
+    // stream; the previous `seed ^ label-length` scheme collided for
+    // methods whose labels happened to share a length.
+    let mut rng = rng_for_task(seed, ((ratio * 100.0) as u64) << 8 | method as u64);
     let grid = method_grid(method, ratio);
     // Select by quick evaluation on the sample.
     let mut best: Option<(f32, &StrategySpec)> = None;
@@ -231,9 +273,20 @@ fn method_baseline_row_uncached(
 // ------------------------------------------------------------------------
 
 /// Serialisable mirror of the experience corpus.
-#[derive(Serialize, Deserialize)]
 struct CorpusDto {
     records: Vec<(usize, Vec<f32>, f32, f32)>,
+}
+
+impl ToJson for CorpusDto {
+    fn to_json(&self) -> Value {
+        obj(vec![("records", self.records.to_json())])
+    }
+}
+
+impl FromJson for CorpusDto {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(CorpusDto { records: field(v, "records")? })
+    }
 }
 
 /// Generate (or load) the experience corpus for a strategy space.
@@ -244,7 +297,9 @@ pub fn experience_corpus(
     fresh: bool,
 ) -> ExperienceCorpus {
     let key = format!("corpus_{space_tag}_s{seed}");
-    let dto = cache::load_or(&key, fresh, || {
+    // The corpus micro-tasks are hard-coded, so the seed alone pins them.
+    let fp = format!("s{seed}|corpus");
+    let dto = cache::load_or(&key, &fp, fresh, || {
         eprintln!("[harness] generating experience corpus ({space_tag})…");
         let mut rng = rng_from_seed(seed ^ 0xE0);
         let mut tasks = vec![
@@ -299,7 +354,8 @@ pub fn automc_embeddings(
         "emb_{space_tag}_s{seed}_kg{}_exp{}",
         use_kg as u8, use_experience as u8
     );
-    cache::load_or(&key, fresh, || {
+    let fp = format!("s{seed}|emb");
+    cache::load_or(&key, &fp, fresh, || {
         let corpus = experience_corpus(space, space_tag, seed, fresh);
         eprintln!("[harness] learning embeddings ({key})…");
         let mut rng = rng_from_seed(seed ^ 0xE1);
@@ -358,9 +414,13 @@ pub fn run_search(
     cache_tag: &str,
 ) -> SearchHistory {
     let key = format!("{cache_tag}_s{seed}_{}", algo.name().to_lowercase());
-    cache::load_or(&key, fresh, || {
+    let fp = run_fingerprint(&task.scale, seed);
+    cache::load_or(&key, &fp, fresh, || {
         eprintln!("[harness] running {} on {cache_tag}…", algo.name());
-        let mut rng = rng_from_seed(seed ^ algo.name().len() as u64);
+        // Per-algorithm RNG stream keyed by the enum discriminant: the old
+        // `seed ^ name-length` derivation gave AutoMC and Random (both six
+        // characters) the *same* stream.
+        let mut rng = rng_for_task(seed, 0x5EA0 + algo as u64);
         // During search, A(M) is measured on the small search_eval subset
         // (the paper's GPU budget is dominated by training; at repro scale
         // full-test evaluation would dominate instead). Re-anchor the base
@@ -435,7 +495,7 @@ pub fn final_row(
     space: &StrategySpace,
     seed: u64,
 ) -> FinalRow {
-    let mut rng = rng_from_seed(seed ^ 0xF1 ^ scheme.len() as u64);
+    let mut rng = rng_for_task(seed ^ 0xF100, scheme.len() as u64);
     let (_, outcome) = execute_scheme(
         &task.base_model,
         &task.base_metrics,
@@ -454,21 +514,64 @@ pub fn final_row(
     )
 }
 
+/// Evaluate one algorithm's search history in both PR bands (one row per
+/// band, placeholder rows when the band is empty).
+fn algo_band_rows(
+    algo: Algo,
+    history: &SearchHistory,
+    task: &PreparedTask,
+    space: &StrategySpace,
+    seed: u64,
+) -> Vec<(usize, FinalRow)> {
+    let exp_gamma = task.scale.gamma;
+    let mut out = Vec::with_capacity(2);
+    for (band, lo, hi) in [(0usize, exp_gamma, 0.55f32), (1, 0.55, 0.90)] {
+        // Evaluate the band's top candidates at full scale and report
+        // the best — the paper evaluates the whole selected Pareto set.
+        let candidates = best_schemes_in_band(history, lo, hi, 2);
+        let best = candidates
+            .iter()
+            .map(|scheme| final_row(algo.name(), scheme, task, space, seed))
+            .max_by(|a, b| a.acc.total_cmp(&b.acc));
+        out.push((
+            band,
+            best.unwrap_or(FinalRow {
+                algorithm: format!("{} (no scheme in band)", algo.name()),
+                params: 0,
+                pr: 0.0,
+                flops: 0,
+                fr: 0.0,
+                acc: 0.0,
+                inc: 0.0,
+                scheme: None,
+            }),
+        ));
+    }
+    out
+}
+
 /// Run (or load) the full Table 2 pipeline for one experiment: method
 /// baselines plus all four AutoML algorithms in both PR bands.
+///
+/// The twelve method-grid runs and four AutoML searches execute as
+/// independent pool tasks (`automc_tensor::par`). Each task derives its
+/// RNG from `(seed, task-id)` alone, so the resulting rows are identical
+/// at any thread count; assembly order is fixed by task index, never by
+/// completion order.
 pub fn table2_rows(
     exp: &ExperimentScale,
     seed: u64,
     fresh: bool,
 ) -> (Vec<FinalRow>, Vec<FinalRow>) {
     let key = format!("table2_{}_s{seed}", exp.name);
+    let fp = run_fingerprint(exp, seed);
     let cached: Option<(Vec<FinalRow>, Vec<FinalRow>)> =
-        if fresh { None } else { cache::load(&key) };
+        if fresh { None } else { cache::load(&key, &fp) };
     if let Some(rows) = cached {
         eprintln!("[cache] reusing {key}");
         return rows;
     }
-    let mut task = prepare_task(exp, seed);
+    let task = prepare_task(exp, seed);
     eprintln!(
         "[harness] {}: base acc {:.2}%, {} params",
         exp.name,
@@ -478,50 +581,46 @@ pub fn table2_rows(
     let space = StrategySpace::full();
     let emb = automc_embeddings(&space, "full", seed, fresh, true, true);
 
+    // Task grid: 12 method rows (method-major, ratio-minor) followed by
+    // the 4 AutoML searches, in reporting order.
+    let n_method_tasks = MethodId::ALL.len() * 2;
+    let n_tasks = n_method_tasks + Algo::ALL.len();
+    let task_ref = &task;
+    let space_ref = &space;
+    let emb_ref = &emb;
+    let outs: Vec<Vec<(usize, FinalRow)>> = par::par_map(n_tasks, |i| {
+        if i < n_method_tasks {
+            let method = MethodId::ALL[i / 2];
+            let ratio = if i % 2 == 0 { 0.4 } else { 0.7 };
+            eprintln!("[harness] {}: method {} @{ratio}…", exp.name, method.name());
+            vec![(i % 2, method_baseline_row(task_ref, method, ratio, seed))]
+        } else {
+            let algo = Algo::ALL[i - n_method_tasks];
+            let history = run_search(
+                algo,
+                task_ref,
+                space_ref,
+                Some(emb_ref),
+                seed,
+                fresh,
+                exp.name,
+            );
+            algo_band_rows(algo, &history, task_ref, space_ref, seed)
+        }
+    });
+
     let mut band40: Vec<FinalRow> = vec![FinalRow::baseline(&task)];
     let mut band70: Vec<FinalRow> = Vec::new();
-    for method in MethodId::ALL {
-        eprintln!("[harness] {}: method {} @0.4/@0.7…", exp.name, method.name());
-        band40.push(method_baseline_row(&mut task, method, 0.4, seed));
-        band70.push(method_baseline_row(&mut task, method, 0.7, seed));
-    }
-    for algo in Algo::ALL {
-        let history = run_search(
-            algo,
-            &task,
-            &space,
-            Some(&emb),
-            seed,
-            fresh,
-            &format!("{}", exp.name),
-        );
-        for (lo, hi, rows) in [
-            (exp.gamma, 0.55, &mut band40),
-            (0.55, 0.90, &mut band70),
-        ] {
-            // Evaluate the band's top candidates at full scale and report
-            // the best — the paper evaluates the whole selected Pareto set.
-            let candidates = best_schemes_in_band(&history, lo, hi, 2);
-            let best = candidates
-                .iter()
-                .map(|scheme| final_row(algo.name(), scheme, &task, &space, seed))
-                .max_by(|a, b| a.acc.total_cmp(&b.acc));
-            match best {
-                Some(row) => rows.push(row),
-                None => rows.push(FinalRow {
-                    algorithm: format!("{} (no scheme in band)", algo.name()),
-                    params: 0,
-                    pr: 0.0,
-                    flops: 0,
-                    fr: 0.0,
-                    acc: 0.0,
-                    inc: 0.0,
-                    scheme: None,
-                }),
+    for rows in outs {
+        for (band, row) in rows {
+            if band == 0 {
+                band40.push(row);
+            } else {
+                band70.push(row);
             }
         }
     }
-    cache::store(&key, &(band40.clone(), band70.clone()));
+    cache::store(&key, &fp, &(band40.clone(), band70.clone()));
     (band40, band70)
 }
 

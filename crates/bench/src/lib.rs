@@ -24,25 +24,50 @@ pub mod harness;
 pub mod report;
 pub mod scale;
 
-/// Parse `--seed N` / `--fresh` from argv (tiny flag parser shared by the
-/// reproduction binaries).
-pub fn parse_args() -> (u64, bool) {
-    let mut seed = 42u64;
-    let mut fresh = false;
+/// Flags shared by the reproduction binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Master seed (`--seed N`, default 42).
+    pub seed: u64,
+    /// Ignore the result cache (`--fresh`).
+    pub fresh: bool,
+    /// Worker threads (`--threads N`; 0 = auto). `AUTOMC_THREADS` takes
+    /// precedence over the flag.
+    pub threads: usize,
+}
+
+impl BenchArgs {
+    /// Install the thread knob into the parallel runtime.
+    pub fn apply(&self) {
+        automc_tensor::par::configure_threads(self.threads);
+    }
+}
+
+/// Parse `--seed N` / `--fresh` / `--threads N` from argv (tiny flag
+/// parser shared by the reproduction binaries).
+pub fn parse_args() -> BenchArgs {
+    let mut parsed = BenchArgs { seed: 42, fresh: false, threads: 0 };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--seed" => {
                 if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    seed = v;
+                    parsed.seed = v;
                     i += 1;
                 }
             }
-            "--fresh" => fresh = true,
+            "--threads" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    parsed.threads = v;
+                    i += 1;
+                }
+            }
+            "--fresh" => parsed.fresh = true,
             other => eprintln!("ignoring unknown argument {other}"),
         }
         i += 1;
     }
-    (seed, fresh)
+    parsed.apply();
+    parsed
 }

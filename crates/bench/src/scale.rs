@@ -33,6 +33,33 @@ pub struct ExperimentScale {
     pub budget_units: u64,
     /// Fraction of the training data used during search (paper: 10%).
     pub sample_frac: f32,
+    /// Worker threads for the parallel execution layer (0 = auto: the
+    /// `AUTOMC_THREADS` env override, else available parallelism). Not
+    /// part of the cache fingerprint — results are thread-count
+    /// invariant by the determinism contract of `automc_tensor::par`.
+    pub threads: usize,
+}
+
+impl ExperimentScale {
+    /// Summary of every result-affecting field, for cache fingerprints.
+    /// `threads` is deliberately excluded: the parallel execution layer
+    /// guarantees bitwise-identical results at any thread count.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|{:?}|{:?}|w{}|tr{}|te{}|n{}|e{}|g{}|b{}|f{}",
+            self.name,
+            self.kind,
+            self.model,
+            self.width,
+            self.train,
+            self.test,
+            self.noise,
+            self.pretrain_epochs,
+            self.gamma,
+            self.budget_units,
+            self.sample_frac
+        )
+    }
 }
 
 /// Exp1: ResNet-56 on the CIFAR-10 stand-in, γ = 0.3.
@@ -49,6 +76,7 @@ pub fn exp1() -> ExperimentScale {
         gamma: 0.3,
         budget_units: 100_000,
         sample_frac: 0.1,
+        threads: 0,
     }
 }
 
@@ -66,6 +94,7 @@ pub fn exp2() -> ExperimentScale {
         gamma: 0.3,
         budget_units: 150_000,
         sample_frac: 0.1,
+        threads: 0,
     }
 }
 

@@ -21,11 +21,11 @@ fn tiny() -> ExperimentScale {
 fn mini_table2_pipeline() {
     let exp = tiny();
     let seed = 9;
-    let mut task = prepare_task(&exp, seed);
+    let task = prepare_task(&exp, seed);
     assert!(task.base_metrics.acc > 0.4, "pretraining failed: {}", task.base_metrics.acc);
 
     // One method baseline.
-    let row = method_baseline_row(&mut task, MethodId::Ns, 0.4, seed);
+    let row = method_baseline_row(&task, MethodId::Ns, 0.4, seed);
     assert!(row.pr > 20.0, "NS row PR {}", row.pr);
     assert!(row.acc > 20.0);
 

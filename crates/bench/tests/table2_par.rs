@@ -1,0 +1,47 @@
+//! The pooled Table-2 pipeline at miniature scale: the twelve method
+//! rows and four searches run as concurrent pool tasks and must produce
+//! the same rows, in the same order, as the serial execution.
+
+use automc_bench::harness::table2_rows;
+use automc_bench::scale::{exp1, ExperimentScale};
+use automc_tensor::par::with_threads;
+
+fn tiny() -> ExperimentScale {
+    ExperimentScale {
+        model: automc_models::ModelKind::ResNet(20),
+        train: 160,
+        test: 80,
+        pretrain_epochs: 4.0,
+        budget_units: 1_500,
+        ..exp1()
+    }
+}
+
+#[test]
+fn pooled_table2_matches_serial_table2() {
+    // Isolate the result cache so both runs recompute from scratch.
+    let dir = std::env::temp_dir().join("automc-table2-par-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("CARGO_TARGET_DIR", &dir);
+
+    let exp = tiny();
+    let seed = 11;
+    let (p40, p70) = with_threads(3, || table2_rows(&exp, seed, true));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (s40, s70) = with_threads(1, || table2_rows(&exp, seed, true));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Structure: baseline + 6 methods + 4 algorithms vs 6 methods + 4.
+    assert_eq!(p40.len(), 11);
+    assert_eq!(p70.len(), 10);
+    assert_eq!(p40[0].algorithm, "baseline");
+
+    // Determinism: pool execution reproduces the serial rows exactly.
+    for (p, s) in p40.iter().zip(&s40).chain(p70.iter().zip(&s70)) {
+        assert_eq!(p.algorithm, s.algorithm);
+        assert_eq!(p.params, s.params, "{}", p.algorithm);
+        assert_eq!(p.acc.to_bits(), s.acc.to_bits(), "{}", p.algorithm);
+        assert_eq!(p.pr.to_bits(), s.pr.to_bits(), "{}", p.algorithm);
+        assert_eq!(p.scheme, s.scheme, "{}", p.algorithm);
+    }
+}

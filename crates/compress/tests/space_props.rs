@@ -1,25 +1,30 @@
-//! Property-based tests of the strategy space and scheme metrics.
+//! Randomised tests of the strategy space and scheme metrics. Seeded
+//! loops; each case reproduces from its printed case number.
 
 use automc_compress::{Metrics, MethodId, StrategySpace};
-use proptest::prelude::*;
+use automc_tensor::rng_from_seed;
+use rand::Rng as _;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn every_strategy_id_resolves(id in 0usize..4230) {
-        let space = StrategySpace::full();
+#[test]
+fn every_strategy_id_resolves() {
+    let space = StrategySpace::full();
+    for case in 0..64u64 {
+        let mut rng = rng_from_seed(0x31_000 + case);
+        let id = rng.gen_range(0usize..space.len());
         let spec = space.spec(id);
         // Display, settings, and accessors never panic and are coherent.
         let text = format!("{spec}");
-        prop_assert!(text.contains(spec.method().label()));
+        assert!(text.contains(spec.method().label()), "case {case} (id {id})");
         let settings = spec.hyper_settings();
-        prop_assert!(!settings.is_empty());
-        prop_assert!(spec.ratio() > 0.0 && spec.ratio() < 0.5);
+        assert!(!settings.is_empty(), "case {case} (id {id})");
+        assert!(spec.ratio() > 0.0 && spec.ratio() < 0.5, "case {case} (id {id})");
     }
+}
 
-    #[test]
-    fn method_subspaces_are_consistent(mask in 1u8..63) {
+#[test]
+fn method_subspaces_are_consistent() {
+    // All 62 non-empty method masks, exhaustively.
+    for mask in 1u8..63 {
         let methods: Vec<MethodId> = MethodId::ALL
             .iter()
             .enumerate()
@@ -27,37 +32,39 @@ proptest! {
             .map(|(_, &m)| m)
             .collect();
         let space = StrategySpace::for_methods(&methods);
-        prop_assert!(!space.is_empty());
+        assert!(!space.is_empty(), "mask {mask}");
         for (_, spec) in space.iter() {
-            prop_assert!(methods.contains(&spec.method()));
+            assert!(methods.contains(&spec.method()), "mask {mask}");
         }
         // Size is the sum of per-method sizes.
         let total: usize = methods
             .iter()
             .map(|&m| StrategySpace::for_methods(&[m]).len())
             .sum();
-        prop_assert_eq!(space.len(), total);
+        assert_eq!(space.len(), total, "mask {mask}");
     }
+}
 
-    #[test]
-    fn metric_rates_are_consistent(
-        base_params in 100usize..1_000_000,
-        keep_frac in 0.05f32..1.0,
-        base_acc in 0.05f32..1.0,
-        acc_delta in -0.5f32..0.5,
-    ) {
+#[test]
+fn metric_rates_are_consistent() {
+    for case in 0..64u64 {
+        let mut rng = rng_from_seed(0x32_000 + case);
+        let base_params = rng.gen_range(100usize..1_000_000);
+        let keep_frac = rng.gen_range(0.05f32..1.0);
+        let base_acc = rng.gen_range(0.05f32..1.0);
+        let acc_delta = rng.gen_range(-0.5f32..0.5);
         let base = Metrics { params: base_params, flops: base_params as u64 * 2, acc: base_acc };
         let new_params = ((base_params as f32) * keep_frac) as usize;
         let new_acc = (base_acc + acc_delta).clamp(0.0, 1.0);
         let m = Metrics { params: new_params, flops: new_params as u64 * 2, acc: new_acc };
         let pr = m.pr(&base);
-        prop_assert!((0.0..=1.0).contains(&pr), "pr {pr}");
+        assert!((0.0..=1.0).contains(&pr), "case {case}: pr {pr}");
         // PR and FR agree when flops scale with params.
-        prop_assert!((pr - m.fr(&base)).abs() < 1e-3);
+        assert!((pr - m.fr(&base)).abs() < 1e-3, "case {case}");
         // AR is bounded below by -1 (accuracy cannot go below zero).
-        prop_assert!(m.ar(&base) >= -1.0 - 1e-6);
+        assert!(m.ar(&base) >= -1.0 - 1e-6, "case {case}");
         // Identity: no compression, no change.
-        prop_assert!(base.pr(&base).abs() < 1e-6);
-        prop_assert!(base.ar(&base).abs() < 1e-6);
+        assert!(base.pr(&base).abs() < 1e-6, "case {case}");
+        assert!(base.ar(&base).abs() < 1e-6, "case {case}");
     }
 }

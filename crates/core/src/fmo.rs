@@ -8,9 +8,9 @@
 //! online on the real deltas of every evaluation performed so far (Eq. 5).
 
 use automc_compress::{Scheme, StrategyId};
-use automc_tensor::nn::{Layer, Linear, Relu, Rnn, Sequential};
-use automc_tensor::optim::{Adam, AdamConfig, Optimizer};
-use automc_tensor::{loss, Rng, Tensor};
+use automc_tensor::nn::{Layer, Linear, Relu, Rnn};
+use automc_tensor::optim::{Adam, AdamConfig, Optimizer, Param};
+use automc_tensor::{loss, par, Rng, Tensor};
 use rand::seq::SliceRandom;
 
 /// One observed step: `(seq, s, state) → (AR_step, PR_step)`.
@@ -28,10 +28,49 @@ pub struct StepSample {
     pub pr_step: f32,
 }
 
+/// The MLP head of `F_mo`. A concrete (cloneable) stack rather than a
+/// `Sequential` of boxed layers, so candidate-scoring shards can each run
+/// forward on their own copy concurrently.
+#[derive(Clone)]
+struct Head {
+    l1: Linear,
+    act: Relu,
+    l2: Linear,
+}
+
+impl Head {
+    fn new(in_dim: usize, rng: &mut Rng) -> Self {
+        Head {
+            l1: Linear::new(in_dim, 32, rng),
+            act: Relu::new(),
+            l2: Linear::new(32, 2, rng),
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let a = self.l1.forward(x, train);
+        let b = self.act.forward(&a, train);
+        self.l2.forward(&b, train)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let g = self.l2.backward(grad);
+        let g = self.act.backward(&g);
+        self.l1.backward(&g)
+    }
+
+    fn params_mut(&mut self) -> Vec<Param<'_>> {
+        let mut v = self.l1.params_mut();
+        v.extend(self.act.params_mut());
+        v.extend(self.l2.params_mut());
+        v
+    }
+}
+
 /// The multi-objective evaluator.
 pub struct Fmo {
     rnn: Rnn,
-    head: Sequential,
+    head: Head,
     opt: Adam,
     emb: Vec<Vec<f32>>,
     emb_dim: usize,
@@ -46,10 +85,7 @@ impl Fmo {
         let emb_dim = embeddings.first().map_or(8, |e| e.len());
         let hidden = 32;
         let rnn = Rnn::new(emb_dim, hidden, rng);
-        let head = Sequential::new()
-            .push(Linear::new(hidden + emb_dim + 2, 32, rng))
-            .push(Relu::new())
-            .push(Linear::new(32, 2, rng));
+        let head = Head::new(hidden + emb_dim + 2, rng);
         Fmo {
             rnn,
             head,
@@ -97,10 +133,27 @@ impl Fmo {
             dst[self.hidden + self.emb_dim] = state[0];
             dst[self.hidden + self.emb_dim + 1] = state[1];
         }
-        let y = self.head.forward(&x, false);
-        (0..candidates.len())
-            .map(|i| (y.row(i)[0], y.row(i)[1]))
-            .collect()
+        let shards = par::current_threads().min(candidates.len());
+        if shards <= 1 {
+            let y = self.head.forward(&x, false);
+            return (0..candidates.len())
+                .map(|i| (y.row(i)[0], y.row(i)[1]))
+                .collect();
+        }
+        // Shard candidate rows across the pool, one head clone per shard.
+        // Each output row is an independent dot product, so the sharded
+        // result is bitwise identical to the full-batch forward.
+        let ranges = par::split_ranges(candidates.len(), shards);
+        let head = &self.head;
+        let xd = x.data();
+        let per_shard: Vec<Vec<(f32, f32)>> = par::par_map(ranges.len(), |s| {
+            let r = ranges[s].clone();
+            let xs = Tensor::from_slice(&[r.len(), width], &xd[r.start * width..r.end * width]);
+            let mut local = head.clone();
+            let y = local.forward(&xs, false);
+            (0..r.len()).map(|i| (y.row(i)[0], y.row(i)[1])).collect()
+        });
+        per_shard.concat()
     }
 
     /// Record an observed step for future training.

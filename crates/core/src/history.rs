@@ -4,10 +4,10 @@
 
 use crate::pareto;
 use automc_compress::{Scheme, SchemeOutcome};
-use serde::{Deserialize, Serialize};
+use automc_json::{field, obj, FromJson, ToJson, Value};
 
 /// One evaluated scheme.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EvalRecord {
     /// The strategy-id sequence.
     pub scheme: Scheme,
@@ -43,13 +43,61 @@ impl EvalRecord {
     }
 }
 
+impl ToJson for EvalRecord {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("scheme", self.scheme.to_json()),
+            ("pr", self.pr.to_json()),
+            ("fr", self.fr.to_json()),
+            ("ar", self.ar.to_json()),
+            ("acc", self.acc.to_json()),
+            ("params", self.params.to_json()),
+            ("flops", self.flops.to_json()),
+            ("cost_so_far", self.cost_so_far.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EvalRecord {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(EvalRecord {
+            scheme: field(v, "scheme")?,
+            pr: field(v, "pr")?,
+            fr: field(v, "fr")?,
+            ar: field(v, "ar")?,
+            acc: field(v, "acc")?,
+            params: field(v, "params")?,
+            flops: field(v, "flops")?,
+            cost_so_far: field(v, "cost_so_far")?,
+        })
+    }
+}
+
 /// The full log of one search run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SearchHistory {
     /// Algorithm name (for reporting).
     pub algorithm: String,
     /// Every evaluation, in execution order.
     pub records: Vec<EvalRecord>,
+}
+
+impl ToJson for SearchHistory {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("algorithm", self.algorithm.to_json()),
+            ("records", self.records.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SearchHistory {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(SearchHistory {
+            algorithm: field(v, "algorithm")?,
+            records: field(v, "records")?,
+        })
+    }
 }
 
 impl SearchHistory {
@@ -156,8 +204,8 @@ mod tests {
     fn roundtrips_through_json() {
         let mut h = SearchHistory::new("roundtrip");
         h.records.push(rec(0.4, 0.02, 0.82, 7));
-        let text = serde_json::to_string(&h).unwrap();
-        let back: SearchHistory = serde_json::from_str(&text).unwrap();
+        let text = h.to_json().to_string_pretty();
+        let back = SearchHistory::from_json(&automc_json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.algorithm, "roundtrip");
         assert_eq!(back.records.len(), 1);
         assert_eq!(back.records[0].cost_so_far, 7);

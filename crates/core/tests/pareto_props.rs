@@ -1,42 +1,61 @@
-//! Property-based tests of the Pareto utilities that both the progressive
-//! search (ParetoO selection) and the EA baseline depend on.
+//! Randomised tests of the Pareto utilities that both the progressive
+//! search (ParetoO selection) and the EA baseline depend on. Seeded
+//! loops; each case reproduces from its printed case number.
 
 use automc_core::pareto::{crowding_distance, dominates, non_dominated_ranks, pareto_front};
-use proptest::prelude::*;
+use automc_tensor::rng_from_seed;
+use rand::Rng as _;
 
-fn points(n: usize) -> impl Strategy<Value = Vec<(f32, f32)>> {
-    proptest::collection::vec((0.0f32..1.0, 0.0f32..1.0), 1..n)
+const CASES: u64 = 128;
+
+fn points(n: usize, seed: u64) -> Vec<(f32, f32)> {
+    let mut rng = rng_from_seed(seed);
+    let len = rng.gen_range(1usize..n);
+    (0..len)
+        .map(|_| (rng.gen_range(0.0f32..1.0), rng.gen_range(0.0f32..1.0)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn front_members_are_mutually_nondominated(pts in points(40)) {
+#[test]
+fn front_members_are_mutually_nondominated() {
+    for case in 0..CASES {
+        let pts = points(40, 0x41_000 + case);
         let front = pareto_front(&pts);
         for &i in &front {
             for &j in &front {
-                prop_assert!(!(i != j && dominates(pts[i], pts[j]) && dominates(pts[j], pts[i])));
+                assert!(
+                    !(i != j && dominates(pts[i], pts[j]) && dominates(pts[j], pts[i])),
+                    "case {case}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn nothing_outside_front_dominates_a_member(pts in points(40)) {
+#[test]
+fn nothing_outside_front_dominates_a_member() {
+    for case in 0..CASES {
+        let pts = points(40, 0x42_000 + case);
         let front = pareto_front(&pts);
-        prop_assert!(!front.is_empty());
+        assert!(!front.is_empty(), "case {case}");
         for &i in &front {
             for (j, &q) in pts.iter().enumerate() {
                 if j != i {
-                    prop_assert!(!dominates(q, pts[i]),
-                        "point {j} {q:?} dominates front member {i} {:?}", pts[i]);
+                    assert!(
+                        !dominates(q, pts[i]),
+                        "case {case}: point {j} {q:?} dominates front member {i} {:?}",
+                        pts[i]
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn every_non_front_point_is_dominated_or_duplicate(pts in points(40)) {
+#[test]
+fn every_non_front_point_is_dominated_or_duplicate() {
+    for case in 0..CASES {
+        let pts = points(40, 0x43_000 + case);
         let front = pareto_front(&pts);
         for (i, &p) in pts.iter().enumerate() {
             if front.contains(&i) {
@@ -46,12 +65,15 @@ proptest! {
                 .iter()
                 .enumerate()
                 .any(|(j, &q)| j != i && (dominates(q, p) || (q == p && j < i)));
-            prop_assert!(covered, "point {i} {p:?} excluded without a dominator");
+            assert!(covered, "case {case}: point {i} {p:?} excluded without a dominator");
         }
     }
+}
 
-    #[test]
-    fn rank_zero_equals_front(pts in points(30)) {
+#[test]
+fn rank_zero_equals_front() {
+    for case in 0..CASES {
+        let pts = points(30, 0x44_000 + case);
         let front: std::collections::HashSet<usize> = pareto_front(&pts).into_iter().collect();
         let ranks = non_dominated_ranks(&pts);
         for (i, &r) in ranks.iter().enumerate() {
@@ -60,33 +82,46 @@ proptest! {
                 // of duplicates, so rank-0 ⊇ front and rank-0 \ front are
                 // duplicates of front members.
                 let in_front = front.contains(&i)
-                    || pts.iter().enumerate().any(|(j, &q)| j != i && q == pts[i] && front.contains(&j));
-                prop_assert!(in_front, "rank-0 point {i} not represented in the front");
+                    || pts
+                        .iter()
+                        .enumerate()
+                        .any(|(j, &q)| j != i && q == pts[i] && front.contains(&j));
+                assert!(in_front, "case {case}: rank-0 point {i} not in the front");
             } else {
-                prop_assert!(!front.contains(&i));
+                assert!(!front.contains(&i), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn ranks_are_total_and_respect_dominance(pts in points(25)) {
+#[test]
+fn ranks_are_total_and_respect_dominance() {
+    for case in 0..CASES {
+        let pts = points(25, 0x45_000 + case);
         let ranks = non_dominated_ranks(&pts);
-        prop_assert!(ranks.iter().all(|&r| r != usize::MAX));
+        assert!(ranks.iter().all(|&r| r != usize::MAX), "case {case}");
         for i in 0..pts.len() {
             for j in 0..pts.len() {
                 if dominates(pts[i], pts[j]) {
-                    prop_assert!(ranks[i] < ranks[j],
-                        "dominator rank {} !< dominated rank {}", ranks[i], ranks[j]);
+                    assert!(
+                        ranks[i] < ranks[j],
+                        "case {case}: dominator rank {} !< dominated rank {}",
+                        ranks[i],
+                        ranks[j]
+                    );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn crowding_is_nonnegative(pts in points(20)) {
+#[test]
+fn crowding_is_nonnegative() {
+    for case in 0..CASES {
+        let pts = points(20, 0x46_000 + case);
         let members: Vec<usize> = (0..pts.len()).collect();
         let d = crowding_distance(&pts, &members);
-        prop_assert_eq!(d.len(), members.len());
-        prop_assert!(d.iter().all(|&v| v >= 0.0));
+        assert_eq!(d.len(), members.len(), "case {case}");
+        assert!(d.iter().all(|&v| v >= 0.0), "case {case}");
     }
 }

@@ -1,11 +1,12 @@
-//! Property-based tests of the structural-surgery invariants: any legal
+//! Randomised tests of the structural-surgery invariants: any legal
 //! sequence of pruning operations must leave the network runnable with
-//! consistent parameter/FLOPs accounting.
+//! consistent parameter/FLOPs accounting. Seeded loops; each case is
+//! reproducible from its printed seed.
 
 use automc_models::surgery::{prunable_sites, prune_site, site_scores, Criterion};
 use automc_models::{resnet, vgg, ConvNet};
 use automc_tensor::{rng_from_seed, Tensor};
-use proptest::prelude::*;
+use rand::Rng as _;
 
 fn check_consistent(net: &mut ConvNet, classes: usize) {
     let mut rng = rng_from_seed(0xCAFE);
@@ -19,37 +20,40 @@ fn check_consistent(net: &mut ConvNet, classes: usize) {
     assert_eq!(g.dims(), x.dims());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn random_prune_sequences_keep_resnet_consistent(
-        seed in 0u64..1000,
-        fractions in proptest::collection::vec(0.1f32..0.8, 1..4),
-    ) {
+#[test]
+fn random_prune_sequences_keep_resnet_consistent() {
+    for case in 0..24u64 {
+        let mut gen = rng_from_seed(0x21_000 + case);
+        let seed = gen.gen_range(0u64..1000);
+        let rounds = gen.gen_range(1usize..4);
+        let fractions: Vec<f32> =
+            (0..rounds).map(|_| gen.gen_range(0.1f32..0.8)).collect();
         let mut rng = rng_from_seed(seed);
         let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
         let mut last_params = net.param_count();
         for f in fractions {
             for site in prunable_sites(&net) {
-                let keep_n = ((site.channels as f32 * (1.0 - f)) as usize).max(2).min(site.channels);
+                let keep_n =
+                    ((site.channels as f32 * (1.0 - f)) as usize).max(2).min(site.channels);
                 let keep: Vec<usize> = (0..keep_n).collect();
                 if keep_n < site.channels {
                     prune_site(&mut net, site, &keep);
                 }
             }
             let params = net.param_count();
-            prop_assert!(params <= last_params);
+            assert!(params <= last_params, "case {case}: params grew");
             last_params = params;
         }
         check_consistent(&mut net, 10);
     }
+}
 
-    #[test]
-    fn random_prune_sequences_keep_vgg_consistent(
-        seed in 0u64..1000,
-        fraction in 0.1f32..0.7,
-    ) {
+#[test]
+fn random_prune_sequences_keep_vgg_consistent() {
+    for case in 0..24u64 {
+        let mut gen = rng_from_seed(0x22_000 + case);
+        let seed = gen.gen_range(0u64..1000);
+        let fraction = gen.gen_range(0.1f32..0.7);
         let mut rng = rng_from_seed(seed);
         let mut net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
         let before_flops = net.flops();
@@ -60,13 +64,15 @@ proptest! {
                 prune_site(&mut net, site, &keep);
             }
         }
-        prop_assert!(net.flops() < before_flops);
+        assert!(net.flops() < before_flops, "case {case}: FLOPs did not drop");
         check_consistent(&mut net, 10);
     }
+}
 
-    #[test]
-    fn scores_are_finite_and_sized(seed in 0u64..500) {
-        let mut rng = rng_from_seed(seed);
+#[test]
+fn scores_are_finite_and_sized() {
+    for case in 0..8u64 {
+        let mut rng = rng_from_seed(0x23_000 + case);
         let net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
         for site in prunable_sites(&net) {
             for crit in [
@@ -77,17 +83,19 @@ proptest! {
                 Criterion::SkewKur,
             ] {
                 let s = site_scores(&net, site, crit);
-                prop_assert_eq!(s.len(), site.channels);
-                prop_assert!(s.iter().all(|v| v.is_finite()));
+                assert_eq!(s.len(), site.channels, "case {case}");
+                assert!(s.iter().all(|v| v.is_finite()), "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn factorisation_then_prune_stays_consistent(
-        seed in 0u64..500,
-        rank in 1usize..6,
-    ) {
+#[test]
+fn factorisation_then_prune_stays_consistent() {
+    for case in 0..8u64 {
+        let mut gen = rng_from_seed(0x24_000 + case);
+        let seed = gen.gen_range(0u64..500);
+        let rank = gen.gen_range(1usize..6);
         let mut rng = rng_from_seed(seed);
         let mut net = vgg(13, 8, 10, (3, 8, 8), &mut rng);
         // Factor every eligible conv, then prune every site.

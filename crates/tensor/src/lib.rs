@@ -54,6 +54,7 @@ pub mod linalg;
 pub mod loss;
 pub mod nn;
 pub mod optim;
+pub mod par;
 
 pub use error::TensorError;
 pub use shape::Shape;
@@ -72,4 +73,18 @@ pub type Rng = rand::rngs::StdRng;
 pub fn rng_from_seed(seed: u64) -> Rng {
     use rand::SeedableRng;
     Rng::seed_from_u64(seed)
+}
+
+/// RNG for one task of a concurrent batch, derived from `(seed, task_id)`.
+///
+/// The ids are mixed through a splitmix64-style finalizer before seeding,
+/// so every task gets a well-separated stream no matter how similar the
+/// ids are — a plain `seed ^ task_id` collides as soon as two tasks share
+/// an id pattern. Because each task owns its RNG, results are independent
+/// of scheduling order.
+pub fn rng_for_task(seed: u64, task_id: u64) -> Rng {
+    let mut z = seed ^ task_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    rng_from_seed(z ^ (z >> 31))
 }

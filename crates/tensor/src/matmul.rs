@@ -5,8 +5,18 @@
 //! (input gradients). The inner loops are written in `ikj` order so the
 //! innermost loop streams contiguously over both `B` and `C` rows, which the
 //! compiler auto-vectorises.
+//!
+//! Large contractions are partitioned over rows of `C` and run on the
+//! [`crate::par`] pool. Each task writes a disjoint block of output rows
+//! and accumulates every element in exactly the serial order, so results
+//! are bitwise identical at any thread count. Contractions under
+//! [`PAR_MIN_FLOPS`] stay on the calling thread — below that size the
+//! hand-off costs more than it saves.
 
-use crate::Tensor;
+use crate::{par, Tensor};
+
+/// Minimum `2·m·k·n` FLOPs before a contraction is worth partitioning.
+pub const PAR_MIN_FLOPS: usize = 1 << 18;
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -14,60 +24,107 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (kb, n) = (b.dims()[0], b.dims()[1]);
     debug_assert_eq!(ka, kb, "matmul: inner dims {ka} vs {kb}");
     let mut c = Tensor::zeros(&[m, n]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
-    for i in 0..m {
-        let a_row = &ad[i * ka..(i + 1) * ka];
-        let c_row = &mut cd[i * n..(i + 1) * n];
+    let (ad, bd) = (a.data(), b.data());
+    let threads = par::current_threads();
+    if threads <= 1 || m <= 1 || 2 * m * ka * n < PAR_MIN_FLOPS {
+        matmul_rows(ad, bd, c.data_mut(), 0, ka, n);
+    } else {
+        let chunk_rows = m.div_ceil(threads.min(m));
+        par::par_chunks_mut(c.data_mut(), chunk_rows * n, |ci, chunk| {
+            matmul_rows(ad, bd, chunk, ci * chunk_rows, ka, n);
+        });
+    }
+    c
+}
+
+/// Rows `first_row ..` of `C = A·B` into `out` (a block of whole rows).
+fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], first_row: usize, k: usize, n: usize) {
+    for (r, c_row) in out.chunks_exact_mut(n).enumerate() {
+        let i = first_row + r;
+        let a_row = &ad[i * k..(i + 1) * k];
         for (p, &apk) in a_row.iter().enumerate() {
-            if apk == 0.0 {
-                continue;
-            }
             let b_row = &bd[p * n..(p + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += apk * bv;
             }
         }
     }
-    c
 }
 
 /// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
 ///
 /// Avoids materialising the transpose: iterates rows of `A` and scatters.
+/// Parallel tasks own disjoint bands of output rows `p`; each element still
+/// accumulates over `i` in ascending order, exactly like the serial kernel.
 pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = (a.dims()[0], a.dims()[1]);
     let (mb, n) = (b.dims()[0], b.dims()[1]);
     debug_assert_eq!(m, mb, "matmul_at_b: outer dims {m} vs {mb}");
     let mut c = Tensor::zeros(&[k, n]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
+    let (ad, bd) = (a.data(), b.data());
+    let threads = par::current_threads();
+    if threads <= 1 || k <= 1 || 2 * m * k * n < PAR_MIN_FLOPS {
+        at_b_rows(ad, bd, c.data_mut(), 0, m, k, n);
+    } else {
+        let chunk_rows = k.div_ceil(threads.min(k));
+        par::par_chunks_mut(c.data_mut(), chunk_rows * n, |ci, chunk| {
+            at_b_rows(ad, bd, chunk, ci * chunk_rows, m, k, n);
+        });
+    }
+    c
+}
+
+/// Rows `first_row ..` of `C = Aᵀ·B` into `out` (a block of whole rows).
+fn at_b_rows(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    first_row: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let rows = out.len() / n.max(1);
     for i in 0..m {
         let a_row = &ad[i * k..(i + 1) * k];
         let b_row = &bd[i * n..(i + 1) * n];
-        for (p, &apv) in a_row.iter().enumerate() {
-            if apv == 0.0 {
-                continue;
-            }
-            let c_row = &mut cd[p * n..(p + 1) * n];
+        for r in 0..rows {
+            let apv = a_row[first_row + r];
+            let c_row = &mut out[r * n..(r + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += apv * bv;
             }
         }
     }
-    c
 }
 
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
 ///
-/// Inner loop is a dot product over contiguous rows of both operands.
+/// Inner loop is a dot product over contiguous rows of both operands, so
+/// every output element is independent and row blocks parallelise freely.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let (k, nb) = (b.dims()[0], b.dims()[1]);
     debug_assert_eq!(n, nb, "matmul_a_bt: inner dims {n} vs {nb}");
     let mut c = Tensor::zeros(&[m, k]);
-    let (ad, bd, cd) = (a.data(), b.data(), c.data_mut());
-    for i in 0..m {
+    let (ad, bd) = (a.data(), b.data());
+    let threads = par::current_threads();
+    if threads <= 1 || m <= 1 || 2 * m * n * k < PAR_MIN_FLOPS {
+        a_bt_rows(ad, bd, c.data_mut(), 0, n, k);
+    } else {
+        let chunk_rows = m.div_ceil(threads.min(m));
+        par::par_chunks_mut(c.data_mut(), chunk_rows * k, |ci, chunk| {
+            a_bt_rows(ad, bd, chunk, ci * chunk_rows, n, k);
+        });
+    }
+    c
+}
+
+/// Rows `first_row ..` of `C = A·Bᵀ` into `out` (a block of whole rows).
+fn a_bt_rows(ad: &[f32], bd: &[f32], out: &mut [f32], first_row: usize, n: usize, k: usize) {
+    for (r, c_row) in out.chunks_exact_mut(k).enumerate() {
+        let i = first_row + r;
         let a_row = &ad[i * n..(i + 1) * n];
-        let c_row = &mut cd[i * k..(i + 1) * k];
         for (j, cv) in c_row.iter_mut().enumerate() {
             let b_row = &bd[j * n..(j + 1) * n];
             let mut acc = 0.0f32;
@@ -77,7 +134,6 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
             *cv = acc;
         }
     }
-    c
 }
 
 #[cfg(test)]
@@ -152,5 +208,26 @@ mod tests {
         let a = Tensor::ones(&[2, 1]);
         let b = Tensor::ones(&[1, 2]);
         assert_eq!(matmul(&a, &b).data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn parallel_paths_are_bitwise_serial() {
+        // Big enough to clear PAR_MIN_FLOPS so the pool path actually runs.
+        let mut rng = rng_from_seed(11);
+        let a = Tensor::randn(&[96, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 80], 1.0, &mut rng);
+        let b_tall = Tensor::randn(&[96, 80], 1.0, &mut rng);
+        let bt = Tensor::randn(&[80, 64], 1.0, &mut rng);
+        let serial = par::with_threads(1, || {
+            (matmul(&a, &b), matmul_at_b(&a, &b_tall), matmul_a_bt(&a, &bt))
+        });
+        for threads in [2, 3, 8] {
+            let par_out = par::with_threads(threads, || {
+                (matmul(&a, &b), matmul_at_b(&a, &b_tall), matmul_a_bt(&a, &bt))
+            });
+            assert_eq!(serial.0.data(), par_out.0.data(), "matmul @ {threads}");
+            assert_eq!(serial.1.data(), par_out.1.data(), "matmul_at_b @ {threads}");
+            assert_eq!(serial.2.data(), par_out.2.data(), "matmul_a_bt @ {threads}");
+        }
     }
 }

@@ -1,6 +1,6 @@
 use crate::nn::Layer;
 use crate::optim::Param;
-use crate::Tensor;
+use crate::{par, Tensor};
 
 /// Batch normalisation over NCHW activations, per channel.
 ///
@@ -85,59 +85,83 @@ impl Layer for BatchNorm2d {
         debug_assert_eq!(c, self.channels(), "batchnorm: channel mismatch");
         let plane = h * w;
         let count = (n * plane).max(1) as f32;
+        let item = c * plane;
         let mut out = Tensor::zeros(d);
+        let xd = x.data();
         if train {
             self.cached_dims = [n, c, h, w];
-            self.cached_invstd = vec![0.0; c];
-            let mut xhat = Tensor::zeros(d);
-            for ch in 0..c {
+            // Phase 1 — per-channel batch statistics, one task per channel.
+            // Accumulation order over (b, i) matches the serial kernel, so
+            // each channel's stats are bitwise thread-count invariant.
+            let eps = self.eps;
+            let stats: Vec<(f32, f32, f32)> = par::par_map(c, |ch| {
                 let mut mean = 0.0f32;
                 for b in 0..n {
                     let base = (b * c + ch) * plane;
-                    mean += x.data()[base..base + plane].iter().sum::<f32>();
+                    mean += xd[base..base + plane].iter().sum::<f32>();
                 }
                 mean /= count;
                 let mut var = 0.0f32;
                 for b in 0..n {
                     let base = (b * c + ch) * plane;
-                    for &v in &x.data()[base..base + plane] {
+                    for &v in &xd[base..base + plane] {
                         var += (v - mean) * (v - mean);
                     }
                 }
                 var /= count;
-                let invstd = 1.0 / (var + self.eps).sqrt();
-                self.cached_invstd[ch] = invstd;
-                // Update running statistics.
+                (mean, var, 1.0 / (var + eps).sqrt())
+            });
+            // Serial: running statistics and the invstd cache, in channel
+            // order (independent per channel; kept serial for clarity).
+            self.cached_invstd = stats.iter().map(|&(_, _, invstd)| invstd).collect();
+            for (ch, &(mean, var, _)) in stats.iter().enumerate() {
                 let rm = &mut self.running_mean.data_mut()[ch];
                 *rm = (1.0 - self.momentum) * *rm + self.momentum * mean;
                 let rv = &mut self.running_var.data_mut()[ch];
                 *rv = (1.0 - self.momentum) * *rv + self.momentum * var;
-                let g = self.gamma.data()[ch];
-                let bshift = self.beta.data()[ch];
-                for b in 0..n {
-                    let base = (b * c + ch) * plane;
-                    for i in 0..plane {
-                        let xh = (x.data()[base + i] - mean) * invstd;
-                        xhat.data_mut()[base + i] = xh;
-                        out.data_mut()[base + i] = g * xh + bshift;
-                    }
+            }
+            // Phase 2 — normalise, one task per batch item; each writes its
+            // disjoint out chunk and returns its xhat chunk. Pure per-element
+            // expressions, so any partition gives identical bits.
+            let mut xhat = Tensor::zeros(d);
+            if item > 0 && n > 0 {
+                let (gamma, beta) = (self.gamma.data(), self.beta.data());
+                let xhat_chunks: Vec<Vec<f32>> =
+                    par::par_chunks_mut_map(out.data_mut(), item, |b, out_chunk| {
+                        let mut xh_chunk = vec![0.0f32; item];
+                        for ch in 0..c {
+                            let (mean, _, invstd) = stats[ch];
+                            let (g, bshift) = (gamma[ch], beta[ch]);
+                            let base = ch * plane;
+                            let xbase = (b * c + ch) * plane;
+                            for i in 0..plane {
+                                let xh = (xd[xbase + i] - mean) * invstd;
+                                xh_chunk[base + i] = xh;
+                                out_chunk[base + i] = g * xh + bshift;
+                            }
+                        }
+                        xh_chunk
+                    });
+                for (b, chunk) in xhat_chunks.into_iter().enumerate() {
+                    xhat.data_mut()[b * item..(b + 1) * item].copy_from_slice(&chunk);
                 }
             }
             self.cached_xhat = Some(xhat);
-        } else {
-            for ch in 0..c {
-                let mean = self.running_mean.data()[ch];
-                let invstd = 1.0 / (self.running_var.data()[ch] + self.eps).sqrt();
-                let g = self.gamma.data()[ch];
-                let bshift = self.beta.data()[ch];
-                for b in 0..n {
-                    let base = (b * c + ch) * plane;
+        } else if item > 0 && n > 0 {
+            let (gamma, beta) = (self.gamma.data(), self.beta.data());
+            let (rm, rv, eps) = (self.running_mean.data(), self.running_var.data(), self.eps);
+            par::par_chunks_mut(out.data_mut(), item, |b, out_chunk| {
+                for ch in 0..c {
+                    let mean = rm[ch];
+                    let invstd = 1.0 / (rv[ch] + eps).sqrt();
+                    let (g, bshift) = (gamma[ch], beta[ch]);
+                    let base = ch * plane;
+                    let xbase = (b * c + ch) * plane;
                     for i in 0..plane {
-                        out.data_mut()[base + i] =
-                            g * (x.data()[base + i] - mean) * invstd + bshift;
+                        out_chunk[base + i] = g * (xd[xbase + i] - mean) * invstd + bshift;
                     }
                 }
-            }
+            });
         }
         out
     }
@@ -150,32 +174,45 @@ impl Layer for BatchNorm2d {
         let [n, c, h, w] = self.cached_dims;
         let plane = h * w;
         let count = (n * plane) as f32;
+        let item = c * plane;
         let mut grad_in = Tensor::zeros(grad_out.dims());
-        for ch in 0..c {
+        let (god, xhd) = (grad_out.data(), xhat.data());
+        // Phase 1 — per-channel gradient sums, one task per channel, with
+        // the serial (b, i) accumulation order.
+        let sums: Vec<(f32, f32)> = par::par_map(c, |ch| {
             let mut sum_dy = 0.0f32;
             let mut sum_dy_xhat = 0.0f32;
             for b in 0..n {
                 let base = (b * c + ch) * plane;
                 for i in 0..plane {
-                    let dy = grad_out.data()[base + i];
+                    let dy = god[base + i];
                     sum_dy += dy;
-                    sum_dy_xhat += dy * xhat.data()[base + i];
+                    sum_dy_xhat += dy * xhd[base + i];
                 }
             }
+            (sum_dy, sum_dy_xhat)
+        });
+        for (ch, &(sum_dy, sum_dy_xhat)) in sums.iter().enumerate() {
             self.grad_beta.data_mut()[ch] += sum_dy;
             self.grad_gamma.data_mut()[ch] += sum_dy_xhat;
-            let g = self.gamma.data()[ch];
-            let invstd = self.cached_invstd[ch];
-            let k = g * invstd / count;
-            for b in 0..n {
-                let base = (b * c + ch) * plane;
-                for i in 0..plane {
-                    let dy = grad_out.data()[base + i];
-                    let xh = xhat.data()[base + i];
-                    grad_in.data_mut()[base + i] =
-                        k * (count * dy - sum_dy - xh * sum_dy_xhat);
+        }
+        // Phase 2 — per-element input gradients, one task per batch item.
+        if item > 0 && n > 0 {
+            let gamma = self.gamma.data();
+            let invstds = &self.cached_invstd;
+            par::par_chunks_mut(grad_in.data_mut(), item, |b, gi_chunk| {
+                for ch in 0..c {
+                    let (sum_dy, sum_dy_xhat) = sums[ch];
+                    let k = gamma[ch] * invstds[ch] / count;
+                    let base = ch * plane;
+                    let xbase = (b * c + ch) * plane;
+                    for i in 0..plane {
+                        let dy = god[xbase + i];
+                        let xh = xhd[xbase + i];
+                        gi_chunk[base + i] = k * (count * dy - sum_dy - xh * sum_dy_xhat);
+                    }
                 }
-            }
+            });
         }
         grad_in
     }

@@ -1,7 +1,7 @@
 use crate::im2col::{col2im_into, im2col_into, ConvGeom};
 use crate::nn::Layer;
 use crate::optim::Param;
-use crate::{init, matmul, matmul_a_bt, matmul_at_b, Rng, Tensor};
+use crate::{init, matmul, matmul_a_bt, matmul_at_b, par, Rng, Tensor};
 
 /// 2-D convolution over NCHW input.
 ///
@@ -189,26 +189,42 @@ impl Layer for Conv2d {
         let col_rows = self.in_c * self.kh * self.kw;
         let col_len = col_rows * oh * ow;
         self.cached_in_dims = [n, self.in_c, in_h, in_w];
-        self.cached_cols.resize(n, Vec::new());
         let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
         let item = self.in_c * in_h * in_w;
         let out_item = self.out_c * oh * ow;
-        for b in 0..n {
-            let cols = &mut self.cached_cols[b];
-            cols.resize(col_len, 0.0);
-            im2col_into(&x.data()[b * item..(b + 1) * item], g, cols);
-            let cols_t = Tensor::from_slice(&[col_rows, oh * ow], cols);
-            let y = matmul(&self.weight, &cols_t); // [out_c, oh*ow]
-            let dst = &mut out.data_mut()[b * out_item..(b + 1) * out_item];
+        if n == 0 || out_item == 0 {
+            // No output to write; still keep per-item cols for backward.
+            let xd = x.data();
+            self.cached_cols = (0..n)
+                .map(|b| {
+                    let mut cols = vec![0.0f32; col_len];
+                    im2col_into(&xd[b * item..(b + 1) * item], g, &mut cols);
+                    cols
+                })
+                .collect();
+            return out;
+        }
+        // Batch items are independent: each task lowers one image and
+        // writes its disjoint output chunk; the im2col buffer is kept for
+        // backward. Identical per-item math at any thread count.
+        let weight = &self.weight;
+        let bias = self.bias.as_ref();
+        let xd = x.data();
+        self.cached_cols = par::par_chunks_mut_map(out.data_mut(), out_item, |b, dst| {
+            let mut cols = vec![0.0f32; col_len];
+            im2col_into(&xd[b * item..(b + 1) * item], g, &mut cols);
+            let cols_t = Tensor::from_slice(&[col_rows, oh * ow], &cols);
+            let y = matmul(weight, &cols_t); // [out_c, oh*ow]
             dst.copy_from_slice(y.data());
-            if let Some(bias) = &self.bias {
+            if let Some(bias) = bias {
                 for (c, &bv) in bias.data().iter().enumerate() {
                     for v in &mut dst[c * oh * ow..(c + 1) * oh * ow] {
                         *v += bv;
                     }
                 }
             }
-        }
+            cols
+        });
         out
     }
 
@@ -222,25 +238,36 @@ impl Layer for Conv2d {
         let mut grad_in = Tensor::zeros(&[n, in_c, in_h, in_w]);
         let out_item = self.out_c * oh * ow;
         let in_item = in_c * in_h * in_w;
-        for b in 0..n {
-            let gout =
-                Tensor::from_slice(&[self.out_c, oh * ow], &grad_out.data()[b * out_item..(b + 1) * out_item]);
-            let cols = Tensor::from_slice(&[col_rows, oh * ow], &self.cached_cols[b]);
-            // dW += gout · colsᵀ
-            self.grad_weight.add_assign(&matmul_a_bt(&gout, &cols));
-            if self.bias.is_some() {
-                for c in 0..self.out_c {
-                    let s: f32 = gout.row(c).iter().sum();
-                    self.grad_bias.data_mut()[c] += s;
-                }
+        // Per-item contributions in parallel: each task scatters into its
+        // disjoint grad_in chunk and returns its (dW, db) terms. Folding
+        // those serially in ascending batch order reproduces the serial
+        // accumulation bitwise.
+        let weight = &self.weight;
+        let cached_cols = &self.cached_cols;
+        let god = grad_out.data();
+        let (out_c, has_bias) = (self.out_c, self.bias.is_some());
+        let contribs: Vec<(Tensor, Vec<f32>)> =
+            par::par_chunks_mut_map(grad_in.data_mut(), in_item, |b, gi_chunk| {
+                let gout =
+                    Tensor::from_slice(&[out_c, oh * ow], &god[b * out_item..(b + 1) * out_item]);
+                let cols = Tensor::from_slice(&[col_rows, oh * ow], &cached_cols[b]);
+                // dW_b = gout · colsᵀ
+                let gw = matmul_a_bt(&gout, &cols);
+                let gb: Vec<f32> = if has_bias {
+                    (0..out_c).map(|c| gout.row(c).iter().sum()).collect()
+                } else {
+                    Vec::new()
+                };
+                // d cols = Wᵀ · gout, then scatter back to image space.
+                let gcols = matmul_at_b(weight, &gout);
+                col2im_into(gcols.data(), g, gi_chunk);
+                (gw, gb)
+            });
+        for (gw, gb) in contribs {
+            self.grad_weight.add_assign(&gw);
+            for (c, v) in gb.into_iter().enumerate() {
+                self.grad_bias.data_mut()[c] += v;
             }
-            // d cols = Wᵀ · gout, then scatter back to image space.
-            let gcols = matmul_at_b(&self.weight, &gout);
-            col2im_into(
-                gcols.data(),
-                g,
-                &mut grad_in.data_mut()[b * in_item..(b + 1) * in_item],
-            );
         }
         grad_in
     }

@@ -1,5 +1,5 @@
 use crate::nn::Layer;
-use crate::Tensor;
+use crate::{par, Tensor};
 
 /// 2×2 max pooling with stride 2 (VGG downsampling).
 ///
@@ -26,34 +26,45 @@ impl Layer for MaxPool2 {
         let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
         let (oh, ow) = (h / 2, w / 2);
         self.in_dims = [n, c, h, w];
-        self.argmax = vec![0; n * c * oh * ow];
+        let out_item = c * oh * ow;
         let mut out = Tensor::zeros(&[n, c, oh, ow]);
-        let mut oi = 0usize;
-        for b in 0..n {
-            for ch in 0..c {
-                let plane = &x.data()[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = 0usize;
-                        for dy in 0..2 {
-                            for dx in 0..2 {
-                                let iy = oy * 2 + dy;
-                                let ix = ox * 2 + dx;
-                                let idx = iy * w + ix;
-                                if plane[idx] > best {
-                                    best = plane[idx];
-                                    best_idx = idx;
+        if n == 0 || out_item == 0 {
+            self.argmax = Vec::new();
+            return out;
+        }
+        // One task per batch item: disjoint output chunk, argmax chunk
+        // returned and reassembled in batch order.
+        let xd = x.data();
+        let argmax_chunks: Vec<Vec<usize>> =
+            par::par_chunks_mut_map(out.data_mut(), out_item, |b, out_chunk| {
+                let mut am = vec![0usize; out_item];
+                let mut oi = 0usize;
+                for ch in 0..c {
+                    let plane = &xd[(b * c + ch) * h * w..(b * c + ch + 1) * h * w];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0usize;
+                            for dy in 0..2 {
+                                for dx in 0..2 {
+                                    let iy = oy * 2 + dy;
+                                    let ix = ox * 2 + dx;
+                                    let idx = iy * w + ix;
+                                    if plane[idx] > best {
+                                        best = plane[idx];
+                                        best_idx = idx;
+                                    }
                                 }
                             }
+                            out_chunk[oi] = best;
+                            am[oi] = (b * c + ch) * h * w + best_idx;
+                            oi += 1;
                         }
-                        out.data_mut()[oi] = best;
-                        self.argmax[oi] = (b * c + ch) * h * w + best_idx;
-                        oi += 1;
                     }
                 }
-            }
-        }
+                am
+            });
+        self.argmax = argmax_chunks.concat();
         out
     }
 
@@ -61,9 +72,19 @@ impl Layer for MaxPool2 {
         let [n, c, h, w] = self.in_dims;
         debug_assert!(n > 0, "MaxPool2::backward before forward");
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-        for (oi, &src) in self.argmax.iter().enumerate() {
-            grad_in.data_mut()[src] += grad_out.data()[oi];
+        let in_item = c * h * w;
+        let out_item = self.argmax.len() / n.max(1);
+        if in_item == 0 || out_item == 0 {
+            return grad_in;
         }
+        // Each argmax of batch item b points inside item b's input chunk,
+        // so the scatter partitions cleanly by batch item.
+        let (god, argmax) = (grad_out.data(), &self.argmax);
+        par::par_chunks_mut(grad_in.data_mut(), in_item, |b, gi_chunk| {
+            for oi in b * out_item..(b + 1) * out_item {
+                gi_chunk[argmax[oi] - b * in_item] += god[oi];
+            }
+        });
         grad_in
     }
 }
@@ -90,13 +111,17 @@ impl Layer for GlobalAvgPool {
         self.in_dims = [n, c, h, w];
         let plane = (h * w).max(1) as f32;
         let mut out = Tensor::zeros(&[n, c]);
-        for b in 0..n {
-            for ch in 0..c {
-                let base = (b * c + ch) * h * w;
-                let s: f32 = x.data()[base..base + h * w].iter().sum();
-                out.data_mut()[b * c + ch] = s / plane;
-            }
+        if n == 0 || c == 0 {
+            return out;
         }
+        let xd = x.data();
+        par::par_chunks_mut(out.data_mut(), c, |b, out_chunk| {
+            for (ch, o) in out_chunk.iter_mut().enumerate() {
+                let base = (b * c + ch) * h * w;
+                let s: f32 = xd[base..base + h * w].iter().sum();
+                *o = s / plane;
+            }
+        });
         out
     }
 
@@ -105,13 +130,17 @@ impl Layer for GlobalAvgPool {
         debug_assert!(n > 0, "GlobalAvgPool::backward before forward");
         let plane = (h * w).max(1) as f32;
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);
-        for b in 0..n {
-            for ch in 0..c {
-                let g = grad_out.data()[b * c + ch] / plane;
-                let base = (b * c + ch) * h * w;
-                grad_in.data_mut()[base..base + h * w].fill(g);
-            }
+        let in_item = c * h * w;
+        if in_item == 0 {
+            return grad_in;
         }
+        let god = grad_out.data();
+        par::par_chunks_mut(grad_in.data_mut(), in_item, |b, gi_chunk| {
+            for ch in 0..c {
+                let g = god[b * c + ch] / plane;
+                gi_chunk[ch * h * w..(ch + 1) * h * w].fill(g);
+            }
+        });
         grad_in
     }
 }

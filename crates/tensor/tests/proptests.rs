@@ -1,119 +1,157 @@
-//! Property-based tests of the tensor kernels' algebraic invariants.
+//! Randomised tests of the tensor kernels' algebraic invariants.
+//!
+//! Seeded loops rather than a property-testing framework: each case draws
+//! fresh inputs from a per-iteration seed, so failures reproduce exactly
+//! by seed and the suite needs no external dependencies.
 
-use automc_tensor::{col2im, im2col, loss, matmul, matmul_a_bt, matmul_at_b, Tensor};
-use proptest::prelude::*;
+use automc_tensor::{
+    col2im, im2col, loss, matmul, matmul_a_bt, matmul_at_b, rng_from_seed, Tensor,
+};
+use rand::Rng as _;
 
-fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
-    proptest::collection::vec(-3.0f32..3.0, len)
+const CASES: u64 = 64;
+
+fn small_vec(len: usize, rng: &mut automc_tensor::Rng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-3.0f32..3.0)).collect()
 }
 
 fn close(a: f32, b: f32, tol: f32) -> bool {
     (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn add_commutes(data_a in small_vec(12), data_b in small_vec(12)) {
-        let a = Tensor::from_slice(&[3, 4], &data_a);
-        let b = Tensor::from_slice(&[3, 4], &data_b);
-        prop_assert_eq!(a.add(&b), b.add(&a));
+#[test]
+fn add_commutes() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x11_000 + case);
+        let a = Tensor::from_slice(&[3, 4], &small_vec(12, &mut rng));
+        let b = Tensor::from_slice(&[3, 4], &small_vec(12, &mut rng));
+        assert_eq!(a.add(&b), b.add(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn scale_distributes_over_add(data_a in small_vec(8), data_b in small_vec(8), k in -2.0f32..2.0) {
-        let a = Tensor::from_slice(&[8], &data_a);
-        let b = Tensor::from_slice(&[8], &data_b);
+#[test]
+fn scale_distributes_over_add() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x12_000 + case);
+        let a = Tensor::from_slice(&[8], &small_vec(8, &mut rng));
+        let b = Tensor::from_slice(&[8], &small_vec(8, &mut rng));
+        let k = rng.gen_range(-2.0f32..2.0);
         let lhs = a.add(&b).scale(k);
         let rhs = a.scale(k).add(&b.scale(k));
         for (x, y) in lhs.data().iter().zip(rhs.data()) {
-            prop_assert!(close(*x, *y, 1e-4), "{x} vs {y}");
+            assert!(close(*x, *y, 1e-4), "case {case}: {x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn matmul_identity(data in small_vec(16)) {
-        let a = Tensor::from_slice(&[4, 4], &data);
+#[test]
+fn matmul_identity() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x13_000 + case);
+        let a = Tensor::from_slice(&[4, 4], &small_vec(16, &mut rng));
         let mut eye = Tensor::zeros(&[4, 4]);
-        for i in 0..4 { *eye.at_mut(&[i, i]) = 1.0; }
+        for i in 0..4 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
         let prod = matmul(&a, &eye);
         for (x, y) in prod.data().iter().zip(a.data()) {
-            prop_assert!(close(*x, *y, 1e-5));
+            assert!(close(*x, *y, 1e-5), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn transpose_variants_agree(da in small_vec(12), db in small_vec(20)) {
-        // matmul_at_b(A, B) == matmul(Aᵀ, B) and matmul_a_bt(A, B) == matmul(A, Bᵀ)
-        let a = Tensor::from_slice(&[4, 3], &da);
+#[test]
+fn transpose_variants_agree() {
+    // matmul_at_b(A, B) == matmul(Aᵀ, B) and matmul_a_bt(A, B) == matmul(A, Bᵀ)
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x14_000 + case);
+        let a = Tensor::from_slice(&[4, 3], &small_vec(12, &mut rng));
+        let db = small_vec(20, &mut rng);
         let b = Tensor::from_slice(&[4, 5], &db);
         let v1 = matmul_at_b(&a, &b);
         let v2 = matmul(&a.transpose2(), &b);
         for (x, y) in v1.data().iter().zip(v2.data()) {
-            prop_assert!(close(*x, *y, 1e-4));
+            assert!(close(*x, *y, 1e-4), "case {case}");
         }
         let c = Tensor::from_slice(&[5, 4], &db);
         let w1 = matmul_a_bt(&a.transpose2(), &c);
         let w2 = matmul(&a.transpose2(), &c.transpose2());
         for (x, y) in w1.data().iter().zip(w2.data()) {
-            prop_assert!(close(*x, *y, 1e-4));
+            assert!(close(*x, *y, 1e-4), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(img_data in small_vec(2 * 5 * 5), col_probe in small_vec(2 * 9 * 25)) {
-        // <im2col(x), y> == <x, col2im(y)> — the property conv backward needs.
-        let x = Tensor::from_slice(&[2, 5, 5], &img_data);
+#[test]
+fn im2col_col2im_adjoint() {
+    // <im2col(x), y> == <x, col2im(y)> — the property conv backward needs.
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x15_000 + case);
+        let x = Tensor::from_slice(&[2, 5, 5], &small_vec(2 * 5 * 5, &mut rng));
         let cols = im2col(&x, 3, 3, 1, 1);
-        prop_assert_eq!(cols.numel(), col_probe.len());
+        let col_probe = small_vec(2 * 9 * 25, &mut rng);
+        assert_eq!(cols.numel(), col_probe.len());
         let y = Tensor::from_slice(cols.dims(), &col_probe);
         let lhs: f32 = cols.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
         let back = col2im(&y, &[2, 5, 5], 3, 3, 1, 1);
         let rhs: f32 = x.data().iter().zip(back.data()).map(|(a, b)| a * b).sum();
-        prop_assert!(close(lhs, rhs, 1e-3), "{lhs} vs {rhs}");
+        assert!(close(lhs, rhs, 1e-3), "case {case}: {lhs} vs {rhs}");
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(data in small_vec(3 * 7)) {
-        let x = Tensor::from_slice(&[3, 7], &data);
+#[test]
+fn softmax_is_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x16_000 + case);
+        let x = Tensor::from_slice(&[3, 7], &small_vec(3 * 7, &mut rng));
         let p = loss::softmax(&x);
         for i in 0..3 {
             let s: f32 = p.row(i).iter().sum();
-            prop_assert!((s - 1.0).abs() < 1e-4);
-            prop_assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!((s - 1.0).abs() < 1e-4, "case {case}: row {i} sums to {s}");
+            assert!(p.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
         }
     }
+}
 
-    #[test]
-    fn cross_entropy_nonnegative(data in small_vec(4 * 5), labels in proptest::collection::vec(0usize..5, 4)) {
-        let x = Tensor::from_slice(&[4, 5], &data);
+#[test]
+fn cross_entropy_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x17_000 + case);
+        let x = Tensor::from_slice(&[4, 5], &small_vec(4 * 5, &mut rng));
+        let labels: Vec<usize> = (0..4).map(|_| rng.gen_range(0usize..5)).collect();
         let (l, grad) = loss::softmax_cross_entropy(&x, &labels);
-        prop_assert!(l >= 0.0);
+        assert!(l >= 0.0, "case {case}");
         // Gradient rows sum to ~0 (softmax minus one-hot).
         for i in 0..4 {
             let s: f32 = grad.row(i).iter().sum();
-            prop_assert!(s.abs() < 1e-4, "row {i} sums to {s}");
+            assert!(s.abs() < 1e-4, "case {case}: row {i} sums to {s}");
         }
     }
+}
 
-    #[test]
-    fn kd_loss_nonnegative(ds in small_vec(2 * 6), dt in small_vec(2 * 6), t in 1.0f32..10.0) {
-        let s = Tensor::from_slice(&[2, 6], &ds);
-        let te = Tensor::from_slice(&[2, 6], &dt);
+#[test]
+fn kd_loss_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x18_000 + case);
+        let s = Tensor::from_slice(&[2, 6], &small_vec(2 * 6, &mut rng));
+        let te = Tensor::from_slice(&[2, 6], &small_vec(2 * 6, &mut rng));
+        let t = rng.gen_range(1.0f32..10.0);
         let (l, _) = loss::distillation_kl(&s, &te, t);
-        prop_assert!(l >= -1e-5, "KL must be ≥ 0, got {l}");
+        assert!(l >= -1e-5, "case {case}: KL must be ≥ 0, got {l}");
     }
+}
 
-    #[test]
-    fn svd_reconstruction_never_worse_with_higher_rank(data in small_vec(6 * 8)) {
-        let a = Tensor::from_slice(&[6, 8], &data);
+#[test]
+fn svd_reconstruction_never_worse_with_higher_rank() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x19_000 + case);
+        let a = Tensor::from_slice(&[6, 8], &small_vec(6 * 8, &mut rng));
         let err_at = |r: usize| {
             let (l, rt) = automc_tensor::linalg::low_rank_factors(&a, r);
             automc_tensor::linalg::relative_error(&a, &matmul(&l, &rt))
         };
         let e2 = err_at(2);
         let e6 = err_at(6);
-        prop_assert!(e6 <= e2 + 1e-3, "rank 6 err {e6} > rank 2 err {e2}");
+        assert!(e6 <= e2 + 1e-3, "case {case}: rank 6 err {e6} > rank 2 err {e2}");
     }
 }

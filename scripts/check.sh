@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build + full test suite, fully offline.
+# Run from the repository root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
