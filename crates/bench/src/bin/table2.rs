@@ -4,14 +4,25 @@
 //! the four AutoML algorithms.
 //!
 //! Run: `cargo run --release -p automc-bench --bin table2 [--seed N] [--fresh]`
+//!
+//! `--smoke` runs the same pipeline at the smallest scale and prints
+//! `SMOKE OK` on a structurally valid result — the CI fault-injection
+//! stage runs this under a seeded `AUTOMC_FAULTS` plan and requires the
+//! run to complete (degraded where faults hit, but valid).
 
-use automc_bench::harness::table2_rows;
+use automc_bench::harness::{run_fingerprint, table2_rows};
 use automc_bench::report::render_rows;
-use automc_bench::scale::{exp1, exp2};
+use automc_bench::scale::{exp1, exp2, smoke};
+use automc_bench::{cache, parse_args};
+use automc_core::SearchHistory;
 
 fn main() {
-    let args = automc_bench::parse_args();
+    let args = parse_args();
     let (seed, fresh) = (args.seed, args.fresh);
+    if args.smoke {
+        run_smoke(seed, fresh);
+        return;
+    }
     println!("Table 2 reproduction (seed {seed})");
     for exp in [exp1(), exp2()] {
         let label = match exp.name {
@@ -22,4 +33,42 @@ fn main() {
         println!("{}", render_rows(&format!("{label} — PR ≈ 40%"), &band40));
         println!("{}", render_rows(&format!("{label} — PR ≈ 70%"), &band70));
     }
+}
+
+/// The smallest end-to-end run: the full Table 2 pipeline on the smoke
+/// scale, with structural validation. Prints `SMOKE OK` only if every
+/// expected row is present — faulted evaluations may degrade individual
+/// rows, but the table itself must always be produced.
+fn run_smoke(seed: u64, fresh: bool) {
+    let exp = smoke();
+    println!("Table 2 smoke run (seed {seed}, scale {})", exp.name);
+    let (band40, band70) = table2_rows(&exp, seed, fresh);
+    println!("{}", render_rows("smoke — PR ≈ 40%", &band40));
+    println!("{}", render_rows("smoke — PR ≈ 70%", &band70));
+
+    // Structure: baseline + 6 methods + 4 algorithms / 6 methods + 4.
+    if band40.len() != 11 || band70.len() != 10 || band40[0].algorithm != "baseline" {
+        eprintln!(
+            "SMOKE FAILED: unexpected table shape ({} / {} rows)",
+            band40.len(),
+            band70.len()
+        );
+        std::process::exit(1);
+    }
+
+    // Report how the supervision layer handled faulted evaluations.
+    let fp = run_fingerprint(&exp, seed);
+    let mut evals = 0usize;
+    let mut infeasible = 0usize;
+    for algo in ["automc", "evolution", "rl", "random"] {
+        let key = format!("{}_s{seed}_{algo}", exp.name);
+        if let Some(h) = cache::load::<SearchHistory>(&key, &fp) {
+            evals += h.records.len();
+            infeasible += h.failed_count();
+        }
+    }
+    println!(
+        "smoke: {evals} evaluations recorded, {infeasible} marked infeasible by supervision"
+    );
+    println!("SMOKE OK");
 }

@@ -10,8 +10,17 @@
 //! unsafe: a cached Table 2 run from one `--seed`/scale combination was
 //! silently reused for another. A fingerprint mismatch — including any
 //! pre-envelope cache file — is treated as a miss and recomputed.
+//!
+//! Entries are written atomically (temp file + rename) and carry an
+//! FNV-1a 64 checksum of the payload, so a torn write, truncation, or
+//! bit-flip is detected on load and treated as a logged miss rather than
+//! parsed into garbage results. The `corrupt@cache:n` fault site
+//! (`automc_tensor::fault`) flips payload bytes just before the n-th
+//! store to exercise that rejection path deterministically.
 
+use automc_core::journal::{fnv1a64, write_atomic};
 use automc_json::{field, obj, FromJson, ToJson, Value};
+use automc_tensor::fault::{self, FaultKind};
 use std::fs;
 use std::path::PathBuf;
 
@@ -31,7 +40,33 @@ pub fn cache_path(key: &str) -> PathBuf {
 
 fn read_envelope(key: &str) -> Option<(String, Value)> {
     let text = fs::read_to_string(cache_path(key)).ok()?;
-    let v = automc_json::parse(&text).ok()?;
+    let v = match automc_json::parse(&text) {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("[cache] {key}: unparsable entry, recomputing");
+            return None;
+        }
+    };
+    // Checksummed format: {"checksum": "<fnv hex>", "payload": "<json>"}.
+    if let (Some(checksum), Some(payload)) = (
+        v.get("checksum")
+            .and_then(|c| c.as_str())
+            .and_then(|c| u64::from_str_radix(c, 16).ok()),
+        v.get("payload").and_then(|p| p.as_str()),
+    ) {
+        if fnv1a64(payload.as_bytes()) != checksum {
+            eprintln!("[cache] {key}: checksum mismatch (corrupt entry), recomputing");
+            return None;
+        }
+        let Ok(inner) = automc_json::parse(payload) else {
+            eprintln!("[cache] {key}: corrupt payload, recomputing");
+            return None;
+        };
+        let fp: String = field(&inner, "fingerprint")?;
+        return Some((fp, inner.get("value")?.clone()));
+    }
+    // Pre-checksum envelope: accept it once (it will be rewritten with a
+    // checksum on the next store).
     let fp: String = field(&v, "fingerprint")?;
     let value = v.get("value")?.clone();
     Some((fp, value))
@@ -48,18 +83,37 @@ pub fn load<T: FromJson>(key: &str, fingerprint: &str) -> Option<T> {
     T::from_json(&value)
 }
 
-/// Store a value under a fingerprint (best-effort: cache failures only warn).
+/// Store a value under a fingerprint (best-effort: cache failures only
+/// warn). The write is atomic and the payload checksummed, so readers
+/// never see a torn or partially-written entry.
 pub fn store<T: ToJson>(key: &str, fingerprint: &str, value: &T) {
     let dir = cache_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create cache dir {dir:?}: {e}");
         return;
     }
-    let envelope = obj(vec![
+    let payload = obj(vec![
         ("fingerprint", fingerprint.to_json()),
         ("value", value.to_json()),
+    ])
+    .to_string_pretty();
+    // Checksum the intended payload first; an injected corruption fault
+    // then damages the stored bytes *after* checksumming, exactly as a
+    // disk fault or torn write would, so the loader must catch it.
+    let checksum = format!("{:016x}", fnv1a64(payload.as_bytes()));
+    let mut payload_bytes = payload.into_bytes();
+    if fault::tick("cache") == Some(FaultKind::Corrupt) {
+        let mid = payload_bytes.len() / 2;
+        payload_bytes[mid] = payload_bytes[mid].wrapping_add(1);
+    }
+    let envelope = obj(vec![
+        ("checksum", Value::Str(checksum)),
+        (
+            "payload",
+            Value::Str(String::from_utf8_lossy(&payload_bytes).into_owned()),
+        ),
     ]);
-    if let Err(e) = fs::write(cache_path(key), envelope.to_string_pretty()) {
+    if let Err(e) = write_atomic(&cache_path(key), envelope.to_string_pretty().as_bytes()) {
         eprintln!("warning: cannot write cache entry {key}: {e}");
     }
 }
@@ -132,5 +186,56 @@ mod tests {
     fn missing_entry_is_none() {
         let v: Option<Vec<u32>> = load("definitely-not-present", "s1|x");
         assert!(v.is_none());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_misses() {
+        let key = "unit-test-corrupt";
+        let fp = "s1|test";
+        store(key, fp, &vec![4u32, 5, 6]);
+        assert_eq!(load::<Vec<u32>>(key, fp), Some(vec![4, 5, 6]));
+        // Flip one byte somewhere in the stored payload.
+        let path = cache_path(key);
+        let mut bytes = fs::read(&path).unwrap();
+        let idx = bytes.len() * 2 / 3;
+        bytes[idx] = bytes[idx].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load::<Vec<u32>>(key, fp), None, "bit-flip must be a miss");
+        // Truncate mid-file, as a torn write would.
+        store(key, fp, &vec![4u32, 5, 6]);
+        let good = fs::read(&path).unwrap();
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert_eq!(load::<Vec<u32>>(key, fp), None, "truncation must be a miss");
+        // A miss recomputes and heals the entry.
+        let v: Vec<u32> = load_or(key, fp, false, || vec![7]);
+        assert_eq!(v, vec![7]);
+        assert_eq!(load::<Vec<u32>>(key, fp), Some(vec![7]));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn injected_cache_corruption_is_detected_on_load() {
+        use automc_tensor::fault::FaultPlan;
+
+        let key = "unit-test-fault-corrupt";
+        let fp = "s1|test";
+        fault::install(FaultPlan::parse("corrupt@cache:1").unwrap());
+        store(key, fp, &vec![1u32, 2]); // corrupted on the way to disk
+        store(key, fp, &vec![3u32, 4]); // second store is clean
+        fault::clear();
+        assert_eq!(
+            load::<Vec<u32>>(key, fp),
+            Some(vec![3, 4]),
+            "the clean second store must have replaced the corrupt entry"
+        );
+        fault::install(FaultPlan::parse("corrupt@cache:1").unwrap());
+        store(key, fp, &vec![9u32]);
+        fault::clear();
+        assert_eq!(
+            load::<Vec<u32>>(key, fp),
+            None,
+            "a corrupted store must fail its checksum on load"
+        );
+        let _ = fs::remove_file(cache_path(key));
     }
 }

@@ -3,21 +3,39 @@
 use crate::cache;
 use crate::scale::{prepare_task, ExperimentScale, PreparedTask};
 use automc_compress::{
-    execute_scheme, Metrics, MethodId, Scheme, StrategySpace, StrategySpec,
+    execute_scheme_checked, EvalOutcome, ExecConfig, Metrics, MethodId, Scheme, StrategySpace,
+    StrategySpec,
 };
 use automc_core::{
-    evolution_search, progressive_search, random_search, rl_search, AutoMcConfig,
-    EvolutionConfig, RlConfig, SearchBudget, SearchContext, SearchHistory,
+    evolution_search, progressive_search_journaled, random_search, rl_search, AutoMcConfig,
+    EvolutionConfig, JournalOptions, RlConfig, SearchBudget, SearchContext, SearchHistory,
 };
+use automc_data::ImageSet;
 use automc_knowledge::{
     generate_experience, learn_embeddings, EmbeddingConfig, ExperienceCorpus, ExperienceRecord,
     MicroTask,
 };
 use automc_json::{field, obj, FromJson, ToJson, Value};
 use automc_models::surgery::Criterion;
-use automc_models::train::AuxKind;
-use automc_models::ModelKind;
-use automc_tensor::{par, rng_for_task, rng_from_seed};
+use automc_models::train::{divergence, AuxKind};
+use automc_models::{ConvNet, ModelKind};
+use automc_tensor::fault::{self, FaultKind};
+use automc_tensor::{par, rng_for_task, rng_from_seed, Rng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether interrupted AutoMC searches may resume from their round
+/// journal (default) or must restart from scratch (`--no-resume`).
+static RESUME: AtomicBool = AtomicBool::new(true);
+
+/// Toggle journal resume for this process (the `--no-resume` flag).
+pub fn set_resume(enabled: bool) {
+    RESUME.store(enabled, Ordering::Relaxed);
+}
+
+fn resume_enabled() -> bool {
+    RESUME.load(Ordering::Relaxed)
+}
 
 /// The cache fingerprint of a prepared-task run: every cached artifact
 /// derived from a `PreparedTask` records this and is a miss under any
@@ -232,11 +250,77 @@ pub fn method_row_quick(
     let mut rng = rng_for_task(seed ^ 0x7A00, method as u64);
     let spec = method_grid(method, ratio)[0];
     let mut model = task.base_model.clone_net();
-    automc_compress::apply_strategy(&spec, &mut model, &task.train_set, &task.exec, &mut rng);
-    let metrics = Metrics::measure(&mut model, &task.test_set);
-    let row = FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None);
+    let row = if supervised_apply(&spec, &mut model, &task.train_set, &task.exec, &mut rng)
+        .is_some()
+    {
+        let metrics = Metrics::measure(&mut model, &task.test_set);
+        FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None)
+    } else {
+        degraded_row(method.name(), "run failed")
+    };
     cache::store(&key, &fp, &row);
     row
+}
+
+/// Apply one strategy under supervision: `catch_unwind` isolation plus
+/// divergence detection. `None` means the application panicked or its
+/// training diverged — the half-modified model must be discarded.
+fn supervised_apply(
+    spec: &StrategySpec,
+    model: &mut ConvNet,
+    data: &ImageSet,
+    exec: &ExecConfig,
+    rng: &mut Rng,
+) -> Option<()> {
+    let injected = fault::tick("eval");
+    divergence::reset();
+    let result = {
+        let model_ref = &mut *model;
+        let rng_ref = &mut *rng;
+        catch_unwind(AssertUnwindSafe(move || {
+            if injected == Some(FaultKind::Panic) {
+                panic!("{}", fault::INJECTED_PANIC_MSG);
+            }
+            automc_compress::apply_strategy(spec, model_ref, data, exec, rng_ref);
+        }))
+    };
+    match result {
+        Ok(()) => {
+            if divergence::take() {
+                eprintln!(
+                    "[harness] {} configuration diverged; skipping",
+                    spec.method().name()
+                );
+                None
+            } else {
+                Some(())
+            }
+        }
+        Err(payload) => {
+            divergence::reset();
+            eprintln!(
+                "[harness] {} configuration panicked ({}); skipping",
+                spec.method().name(),
+                fault::payload_message(payload.as_ref())
+            );
+            None
+        }
+    }
+}
+
+/// The degraded row reported when every attempt at a method failed: zero
+/// metrics, clearly labelled, never mistakable for a real result.
+fn degraded_row(name: &str, why: &str) -> FinalRow {
+    FinalRow {
+        algorithm: format!("{name} ({why})"),
+        params: 0,
+        pr: 0.0,
+        flops: 0,
+        fr: 0.0,
+        acc: 0.0,
+        inc: 0.0,
+        scheme: None,
+    }
 }
 
 fn method_baseline_row_uncached(
@@ -250,20 +334,35 @@ fn method_baseline_row_uncached(
     // methods whose labels happened to share a length.
     let mut rng = rng_for_task(seed, ((ratio * 100.0) as u64) << 8 | method as u64);
     let grid = method_grid(method, ratio);
-    // Select by quick evaluation on the sample.
+    // Select by quick evaluation on the sample; failed configurations are
+    // skipped rather than aborting the whole table.
     let mut best: Option<(f32, &StrategySpec)> = None;
     for spec in &grid {
         let mut model = task.base_model.clone_net();
-        automc_compress::apply_strategy(spec, &mut model, &task.search_sample, &task.exec, &mut rng);
+        if supervised_apply(spec, &mut model, &task.search_sample, &task.exec, &mut rng).is_none()
+        {
+            continue;
+        }
         let acc = automc_models::train::evaluate(&mut model, &task.search_eval);
+        if !acc.is_finite() {
+            continue;
+        }
         if best.map_or(true, |(b, _)| acc > b) {
             best = Some((acc, spec));
         }
     }
-    let (_, spec) = best.expect("non-empty grid");
+    let Some((_, spec)) = best else {
+        eprintln!(
+            "[harness] {}@{ratio}: every grid configuration failed; reporting degraded row",
+            method.name()
+        );
+        return degraded_row(method.name(), "all configurations failed");
+    };
     // Final run on the full training split.
     let mut model = task.base_model.clone_net();
-    automc_compress::apply_strategy(spec, &mut model, &task.train_set, &task.exec, &mut rng);
+    if supervised_apply(spec, &mut model, &task.train_set, &task.exec, &mut rng).is_none() {
+        return degraded_row(method.name(), "final run failed");
+    }
     let metrics = Metrics::measure(&mut model, &task.test_set);
     FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None)
 }
@@ -445,7 +544,14 @@ pub fn run_search(
         let history = match algo {
             Algo::AutoMc => {
                 let emb = embeddings.expect("AutoMC needs embeddings").to_vec();
-                progressive_search(&ctx, emb, &AutoMcConfig::default(), &mut rng)
+                // Journal each round next to the result cache so a killed
+                // run resumes (bitwise identically) instead of restarting.
+                let opts = JournalOptions {
+                    path: Some(cache::cache_dir().join(format!("{key}.journal"))),
+                    resume: resume_enabled(),
+                    abort_after_rounds: None,
+                };
+                progressive_search_journaled(&ctx, emb, &AutoMcConfig::default(), &mut rng, &opts)
             }
             Algo::Evolution => evolution_search(&ctx, &EvolutionConfig::default(), &mut rng),
             Algo::Rl => rl_search(&ctx, &RlConfig::default(), &mut rng),
@@ -478,7 +584,7 @@ pub fn best_schemes_in_band(history: &SearchHistory, lo: f32, hi: f32, k: usize)
     let mut in_band: Vec<&automc_core::EvalRecord> = history
         .records
         .iter()
-        .filter(|r| r.pr >= lo && r.pr < hi)
+        .filter(|r| r.is_feasible() && r.pr >= lo && r.pr < hi)
         .collect();
     in_band.sort_by(|a, b| b.acc.total_cmp(&a.acc));
     in_band.dedup_by(|a, b| a.scheme == b.scheme);
@@ -496,7 +602,7 @@ pub fn final_row(
     seed: u64,
 ) -> FinalRow {
     let mut rng = rng_for_task(seed ^ 0xF100, scheme.len() as u64);
-    let (_, outcome) = execute_scheme(
+    let result = execute_scheme_checked(
         &task.base_model,
         &task.base_metrics,
         scheme,
@@ -506,12 +612,22 @@ pub fn final_row(
         &task.exec,
         &mut rng,
     );
-    FinalRow::from_metrics(
-        name.into(),
-        &outcome.metrics,
-        &task.base_metrics,
-        Some(scheme.clone()),
-    )
+    match result {
+        EvalOutcome::Ok { outcome, .. } => FinalRow::from_metrics(
+            name.into(),
+            &outcome.metrics,
+            &task.base_metrics,
+            Some(scheme.clone()),
+        ),
+        EvalOutcome::Diverged { step, .. } => {
+            eprintln!("[harness] final evaluation of {name} diverged at step {step}");
+            degraded_row(name, "final evaluation diverged")
+        }
+        EvalOutcome::Panicked { step, ref msg, .. } => {
+            eprintln!("[harness] final evaluation of {name} panicked at step {step}: {msg}");
+            degraded_row(name, "final evaluation panicked")
+        }
+    }
 }
 
 /// Evaluate one algorithm's search history in both PR bands (one row per
@@ -653,6 +769,7 @@ mod tests {
             params: 10,
             flops: 10,
             cost_so_far: 1,
+            status: automc_core::EvalStatus::Ok,
         };
         h.records.push(rec(0.4, 0.8, vec![1]));
         h.records.push(rec(0.45, 0.9, vec![2]));
@@ -674,6 +791,7 @@ mod tests {
             params: 10,
             flops: 10,
             cost_so_far: 1,
+            status: automc_core::EvalStatus::Ok,
         };
         h.records.push(rec(0.4, 0.8, vec![1]));
         h.records.push(rec(0.4, 0.8, vec![1])); // duplicate scheme

@@ -15,6 +15,13 @@
 //! the expensive searches run once (Table 3 and Figs 4/6 reuse Table 2's
 //! runs). Pass `--seed N` to any binary to change the master seed;
 //! `--fresh` ignores the cache.
+//!
+//! Fault tolerance: every candidate evaluation is supervised (panics and
+//! divergence are recorded as infeasible history entries, not crashes),
+//! AutoMC searches journal their state each round and resume after a kill
+//! (`--no-resume` disables), and `--faults SPEC` / `AUTOMC_FAULTS`
+//! injects deterministic faults for testing — see `DESIGN.md` §"Fault
+//! model & recovery".
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -25,7 +32,7 @@ pub mod report;
 pub mod scale;
 
 /// Flags shared by the reproduction binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Master seed (`--seed N`, default 42).
     pub seed: u64,
@@ -34,19 +41,47 @@ pub struct BenchArgs {
     /// Worker threads (`--threads N`; 0 = auto). `AUTOMC_THREADS` takes
     /// precedence over the flag.
     pub threads: usize,
+    /// Disable journal resume (`--no-resume`): interrupted AutoMC
+    /// searches restart from scratch.
+    pub no_resume: bool,
+    /// Deterministic fault plan (`--faults kind@site:n,...`), installed
+    /// on the main thread. Equivalent to setting `AUTOMC_FAULTS`.
+    pub faults: Option<String>,
+    /// Run the binary's smoke mode, if it has one (`--smoke`): the
+    /// smallest end-to-end scale, used by the CI fault-injection stage.
+    pub smoke: bool,
 }
 
 impl BenchArgs {
-    /// Install the thread knob into the parallel runtime.
+    /// Install the thread knob, resume policy, and fault plan into the
+    /// runtime.
     pub fn apply(&self) {
         automc_tensor::par::configure_threads(self.threads);
+        harness::set_resume(!self.no_resume);
+        if let Some(spec) = &self.faults {
+            match automc_tensor::fault::FaultPlan::parse(spec) {
+                Ok(plan) => {
+                    eprintln!("[fault] --faults installed: {spec}");
+                    automc_tensor::fault::install(plan);
+                }
+                Err(e) => eprintln!("warning: ignoring --faults: {e}"),
+            }
+        }
     }
 }
 
-/// Parse `--seed N` / `--fresh` / `--threads N` from argv (tiny flag
-/// parser shared by the reproduction binaries).
+/// Parse `--seed N` / `--fresh` / `--threads N` / `--no-resume` /
+/// `--faults SPEC` from argv (tiny flag parser shared by the
+/// reproduction binaries).
 pub fn parse_args() -> BenchArgs {
-    let mut parsed = BenchArgs { seed: 42, fresh: false, threads: 0 };
+    let mut parsed = BenchArgs {
+        seed: 42,
+        fresh: false,
+        threads: 0,
+        no_resume: false,
+        faults: None,
+        smoke: false,
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -63,7 +98,15 @@ pub fn parse_args() -> BenchArgs {
                     i += 1;
                 }
             }
+            "--faults" => {
+                if let Some(v) = args.get(i + 1) {
+                    parsed.faults = Some(v.clone());
+                    i += 1;
+                }
+            }
             "--fresh" => parsed.fresh = true,
+            "--no-resume" => parsed.no_resume = true,
+            "--smoke" => parsed.smoke = true,
             other => eprintln!("ignoring unknown argument {other}"),
         }
         i += 1;

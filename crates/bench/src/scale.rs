@@ -98,6 +98,21 @@ pub fn exp2() -> ExperimentScale {
     }
 }
 
+/// The smallest end-to-end scale: Table 2's full pipeline (method grid +
+/// all four searches) shrunk until a fresh run takes well under a minute.
+/// Used by the CI fault-injection smoke stage (`table2 --smoke`).
+pub fn smoke() -> ExperimentScale {
+    ExperimentScale {
+        name: "smoke",
+        model: ModelKind::ResNet(20),
+        train: 160,
+        test: 80,
+        pretrain_epochs: 4.0,
+        budget_units: 1_500,
+        ..exp1()
+    }
+}
+
 /// Transfer targets of Table 3 for an experiment's family.
 pub fn transfer_targets(exp: &ExperimentScale) -> Vec<ModelKind> {
     match exp.model {

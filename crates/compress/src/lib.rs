@@ -30,7 +30,10 @@ mod scheme;
 mod space;
 
 pub use methods::{apply_strategy, ExecConfig};
-pub use scheme::{execute_scheme, EvalCost, Metrics, Scheme, SchemeOutcome, StepRecord};
+pub use scheme::{
+    execute_scheme, execute_scheme_checked, EvalCost, EvalOutcome, Metrics, Scheme,
+    SchemeOutcome, StepRecord,
+};
 pub use space::{
     HpSetting, MethodId, StrategyId, StrategySpace, StrategySpec, HOS_GLOBAL, LFB_AUX,
 };

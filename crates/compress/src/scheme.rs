@@ -101,6 +101,142 @@ pub struct SchemeOutcome {
     pub cost: EvalCost,
 }
 
+/// Outcome of one *supervised* scheme evaluation: completed with finite
+/// metrics, or one of the two failure modes the fault-tolerant execution
+/// layer isolates. Failed evaluations still report the cost spent before
+/// the failure so search budgets keep draining.
+pub enum EvalOutcome {
+    /// Evaluation completed and every metric is finite.
+    Ok {
+        /// The compressed model.
+        model: ConvNet,
+        /// Metrics and per-step deltas.
+        outcome: SchemeOutcome,
+    },
+    /// Training diverged (non-finite loss or accuracy) at `step`.
+    Diverged {
+        /// Index of the strategy step that diverged.
+        step: usize,
+        /// Cost spent up to and including the failed step.
+        cost: EvalCost,
+    },
+    /// A panic was caught while executing `step`.
+    Panicked {
+        /// Index of the strategy step that panicked.
+        step: usize,
+        /// The recovered panic payload message.
+        msg: String,
+        /// Cost spent before the panic.
+        cost: EvalCost,
+    },
+}
+
+impl EvalOutcome {
+    /// Cost spent by the evaluation, whether or not it completed.
+    pub fn cost(&self) -> EvalCost {
+        match self {
+            EvalOutcome::Ok { outcome, .. } => outcome.cost,
+            EvalOutcome::Diverged { cost, .. } | EvalOutcome::Panicked { cost, .. } => *cost,
+        }
+    }
+
+    /// Budget units to charge: the spent cost, floored at `floor` so a
+    /// candidate that fails instantly (cost 0) cannot let a budgeted
+    /// search loop spin forever.
+    pub fn charged_units(&self, floor: u64) -> u64 {
+        self.cost().units().max(floor)
+    }
+
+    /// True for [`EvalOutcome::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalOutcome::Ok { .. })
+    }
+}
+
+/// Render a caught panic payload as text (panics carry `&str` or `String`
+/// in practice).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`execute_scheme`] under supervision: every strategy step runs inside
+/// `catch_unwind`, training divergence is detected via the thread-local
+/// latch plus a non-finite metrics check, and the `eval` fault site lets
+/// tests inject a panic into the Nth evaluation (`panic@eval:N`). A
+/// failure abandons the candidate model (which may be mid-surgery) and
+/// reports what was spent.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_scheme_checked(
+    base_model: &ConvNet,
+    base_metrics: &Metrics,
+    scheme: &[StrategyId],
+    space: &StrategySpace,
+    train_set: &ImageSet,
+    eval_set: &ImageSet,
+    cfg: &ExecConfig,
+    rng: &mut Rng,
+) -> EvalOutcome {
+    use automc_models::train::divergence;
+    use automc_tensor::fault::{self, FaultKind, INJECTED_PANIC_MSG};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let injected = fault::tick("eval");
+    let mut model = base_model.clone_net();
+    let mut prev = *base_metrics;
+    let mut steps = Vec::with_capacity(scheme.len());
+    let mut cost = EvalCost::default();
+    for (i, &sid) in scheme.iter().enumerate() {
+        divergence::reset();
+        let spec = space.spec(sid);
+        let step_result = catch_unwind(AssertUnwindSafe(|| {
+            if i == 0 && injected == Some(FaultKind::Panic) {
+                panic!("{INJECTED_PANIC_MSG} at eval");
+            }
+            let step_cost = apply_strategy(spec, &mut model, train_set, cfg, rng);
+            let after = Metrics::measure(&mut model, eval_set);
+            (step_cost, after)
+        }));
+        let (step_cost, after) = match step_result {
+            Ok(v) => v,
+            Err(payload) => {
+                divergence::reset();
+                return EvalOutcome::Panicked {
+                    step: i,
+                    msg: payload_message(payload.as_ref()),
+                    cost,
+                };
+            }
+        };
+        cost.add(step_cost);
+        cost.eval_images += eval_set.len() as u64;
+        if divergence::take() || !after.acc.is_finite() {
+            return EvalOutcome::Diverged { step: i, cost };
+        }
+        steps.push(StepRecord {
+            strategy: sid,
+            ar_step: after.ar(&prev),
+            pr_step: after.pr(&prev),
+            after,
+        });
+        prev = after;
+    }
+    let outcome = SchemeOutcome {
+        metrics: prev,
+        pr: prev.pr(base_metrics),
+        fr: prev.fr(base_metrics),
+        ar: prev.ar(base_metrics),
+        steps,
+        cost,
+    };
+    EvalOutcome::Ok { model, outcome }
+}
+
 /// Execute a scheme on a copy of `base_model`.
 ///
 /// * `train_set` — data available for (re-)training (the 10% sample during
@@ -172,6 +308,91 @@ mod tests {
         acc.add(c);
         acc.add(c);
         assert_eq!(acc.trained_images, 20);
+    }
+
+    fn checked_fixture() -> (ConvNet, Metrics, StrategySpace, ImageSet, ImageSet, ExecConfig) {
+        let mut rng = rng_from_seed(181);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 60,
+            test: 40,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let base_metrics = Metrics::measure(&mut base, &eval_set);
+        let space = StrategySpace::full();
+        let cfg = ExecConfig { pretrain_epochs: 1.0, ..ExecConfig::default() };
+        (base, base_metrics, space, train_set, eval_set, cfg)
+    }
+
+    #[test]
+    fn checked_matches_unchecked_without_faults() {
+        let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
+        let scheme = vec![0, 1];
+        let mut rng_a = rng_from_seed(42);
+        let mut rng_b = rng_from_seed(42);
+        let (_, plain) = execute_scheme(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng_a,
+        );
+        let checked = execute_scheme_checked(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng_b,
+        );
+        match checked {
+            EvalOutcome::Ok { outcome, .. } => {
+                assert_eq!(outcome.metrics.acc.to_bits(), plain.metrics.acc.to_bits());
+                assert_eq!(outcome.metrics.params, plain.metrics.params);
+                assert_eq!(outcome.cost, plain.cost);
+                assert_eq!(outcome.steps.len(), plain.steps.len());
+            }
+            _ => panic!("un-faulted evaluation must complete"),
+        }
+    }
+
+    #[test]
+    fn injected_eval_panic_is_caught() {
+        use automc_tensor::fault::{self, FaultPlan};
+        let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
+        let scheme: Scheme = vec![0];
+        fault::install(FaultPlan::parse("panic@eval:2").unwrap());
+        let mut rng = rng_from_seed(43);
+        let first = execute_scheme_checked(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng,
+        );
+        assert!(first.is_ok(), "fault scheduled for the second evaluation");
+        let second = execute_scheme_checked(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng,
+        );
+        fault::clear();
+        match &second {
+            EvalOutcome::Panicked { step, msg, cost } => {
+                assert_eq!(*step, 0);
+                assert!(msg.contains("injected fault"), "{msg}");
+                assert_eq!(cost.units(), 0, "panicked before any work");
+            }
+            _ => panic!("second evaluation must be the panicked one"),
+        }
+        assert_eq!(second.charged_units(40), 40, "failures still drain budget");
+    }
+
+    #[test]
+    fn injected_train_nan_reports_divergence() {
+        use automc_tensor::fault::{self, FaultPlan};
+        let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
+        let scheme: Scheme = vec![0];
+        fault::install(FaultPlan::parse("nan@train:1").unwrap());
+        let mut rng = rng_from_seed(44);
+        let out = execute_scheme_checked(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng,
+        );
+        fault::clear();
+        match out {
+            EvalOutcome::Diverged { step, cost } => {
+                assert_eq!(step, 0);
+                assert!(cost.units() > 0, "the failed step's cost is still charged");
+            }
+            EvalOutcome::Ok { .. } => panic!("poisoned training must not report Ok"),
+            EvalOutcome::Panicked { msg, .. } => panic!("unexpected panic: {msg}"),
+        }
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! crossover and replace/insert/delete mutation.
 
 use crate::context::SearchContext;
-use crate::history::{EvalRecord, SearchHistory};
+use crate::history::{EvalRecord, EvalStatus, SearchHistory};
 use crate::pareto;
-use automc_compress::Scheme;
+use automc_compress::{EvalOutcome, Scheme};
 use automc_tensor::Rng;
 use rand::Rng as _;
 
@@ -40,8 +40,11 @@ pub fn evolution_search(
     let mut spent = 0u64;
     let mut population: Vec<Individual> = Vec::new();
 
-    let evaluate = |scheme: Scheme, spent: &mut u64, history: &mut SearchHistory, rng: &mut Rng| -> Individual {
-        let (_, outcome) = automc_compress::execute_scheme(
+    // Supervised evaluation: a panicking or diverging scheme is logged as
+    // infeasible (charged at least one evaluation's budget) and produces
+    // no individual — the population only ever holds viable schemes.
+    let evaluate = |scheme: Scheme, spent: &mut u64, history: &mut SearchHistory, rng: &mut Rng| -> Option<Individual> {
+        let result = automc_compress::execute_scheme_checked(
             ctx.base_model,
             &ctx.base_metrics,
             &scheme,
@@ -51,18 +54,30 @@ pub fn evolution_search(
             &ctx.exec,
             rng,
         );
-        *spent += outcome.cost.units();
-        history
-            .records
-            .push(EvalRecord::from_outcome(scheme.clone(), &outcome, *spent));
-        Individual { scheme, ar: outcome.ar, pr: outcome.pr }
+        *spent += result.charged_units((ctx.eval_set.len() as u64).max(1));
+        match result {
+            EvalOutcome::Ok { outcome, .. } => {
+                history
+                    .records
+                    .push(EvalRecord::from_outcome(scheme.clone(), &outcome, *spent));
+                Some(Individual { scheme, ar: outcome.ar, pr: outcome.pr })
+            }
+            EvalOutcome::Diverged { .. } => {
+                history.push_failure(scheme, EvalStatus::Diverged, *spent);
+                None
+            }
+            EvalOutcome::Panicked { msg, .. } => {
+                history.push_failure(scheme, EvalStatus::Panicked(msg), *spent);
+                None
+            }
+        }
     };
 
     // Seed population.
     while population.len() < cfg.population && spent < ctx.budget.units {
         let len = rng.gen_range(1..=ctx.max_len);
         let scheme: Scheme = (0..len).map(|_| rng.gen_range(0..ctx.space.len())).collect();
-        population.push(evaluate(scheme, &mut spent, &mut history, rng));
+        population.extend(evaluate(scheme, &mut spent, &mut history, rng));
     }
 
     while spent < ctx.budget.units && population.len() >= 2 {
@@ -104,7 +119,9 @@ pub fn evolution_search(
             child.push(rng.gen_range(0..ctx.space.len()));
         }
         // Evaluate and insert; truncate by (rank, crowding).
-        let ind = evaluate(child, &mut spent, &mut history, rng);
+        let Some(ind) = evaluate(child, &mut spent, &mut history, rng) else {
+            continue;
+        };
         population.push(ind);
         if population.len() > cfg.population {
             let points: Vec<(f32, f32)> = population.iter().map(|i| (i.ar, i.pr)).collect();

@@ -67,6 +67,58 @@ impl Head {
     }
 }
 
+const STATE_MAGIC: &[u8; 8] = b"AUTOMCf1";
+
+fn take_bytes<'a>(r: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if r.len() < n {
+        return None;
+    }
+    let (head, tail) = r.split_at(n);
+    *r = tail;
+    Some(head)
+}
+
+fn write_tensor_list(out: &mut Vec<u8>, tensors: &[&Tensor]) {
+    out.extend_from_slice(&(tensors.len() as u64).to_le_bytes());
+    for t in tensors {
+        out.extend_from_slice(&(t.dims().len() as u64).to_le_bytes());
+        for &d in t.dims() {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for &v in t.data() {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn read_tensor_list(r: &mut &[u8]) -> Option<Vec<Tensor>> {
+    let count = u64::from_le_bytes(take_bytes(r, 8)?.try_into().ok()?) as usize;
+    if count > 1_000 {
+        return None;
+    }
+    let mut tensors = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rank = u64::from_le_bytes(take_bytes(r, 8)?.try_into().ok()?) as usize;
+        if rank > 8 {
+            return None;
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(u64::from_le_bytes(take_bytes(r, 8)?.try_into().ok()?) as usize);
+        }
+        let numel: usize = dims.iter().product();
+        if numel > 100_000_000 {
+            return None;
+        }
+        let mut data = vec![0f32; numel];
+        for v in &mut data {
+            *v = f32::from_le_bytes(take_bytes(r, 4)?.try_into().ok()?);
+        }
+        tensors.push(Tensor::from_vec(&dims, data).ok()?);
+    }
+    Some(tensors)
+}
+
 /// The multi-objective evaluator.
 pub struct Fmo {
     rnn: Rnn,
@@ -159,6 +211,117 @@ impl Fmo {
     /// Record an observed step for future training.
     pub fn observe(&mut self, sample: StepSample) {
         self.samples.push(sample);
+    }
+
+    /// Every learned tensor, in the same order [`Fmo::train_one`] hands
+    /// them to the optimizer (so Adam's position-keyed moments line up).
+    fn state_tensors(&self) -> Vec<&Tensor> {
+        vec![
+            &self.rnn.w_xh,
+            &self.rnn.w_hh,
+            &self.rnn.b,
+            &self.head.l1.weight,
+            &self.head.l1.bias,
+            &self.head.l2.weight,
+            &self.head.l2.bias,
+        ]
+    }
+
+    fn state_tensors_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![
+            &mut self.rnn.w_xh,
+            &mut self.rnn.w_hh,
+            &mut self.rnn.b,
+            &mut self.head.l1.weight,
+            &mut self.head.l1.bias,
+            &mut self.head.l2.weight,
+            &mut self.head.l2.bias,
+        ]
+    }
+
+    /// Serialise the evaluator's learned state — weights, Adam moments,
+    /// and the replay buffer — so a resumed search continues training the
+    /// exact same evaluator. Strategy embeddings are *not* included; they
+    /// are an input recreated at construction.
+    pub fn state_to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_MAGIC);
+        let opt = self.opt.export_state();
+        write_tensor_list(&mut out, &self.state_tensors());
+        out.extend_from_slice(&opt.t.to_le_bytes());
+        write_tensor_list(&mut out, &opt.m.iter().collect::<Vec<_>>());
+        write_tensor_list(&mut out, &opt.v.iter().collect::<Vec<_>>());
+        out.extend_from_slice(&(self.samples.len() as u64).to_le_bytes());
+        for s in &self.samples {
+            out.extend_from_slice(&(s.seq.len() as u64).to_le_bytes());
+            for &sid in &s.seq {
+                out.extend_from_slice(&(sid as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&(s.cand as u64).to_le_bytes());
+            for v in [s.state[0], s.state[1], s.ar_step, s.pr_step] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Restore state captured by [`Fmo::state_to_bytes`] into an evaluator
+    /// built with the same embeddings. Returns `None` (leaving `self`
+    /// partially overwritten and unusable) on a corrupt or mismatched
+    /// stream — callers should discard the evaluator in that case.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Option<()> {
+        let mut r = bytes;
+        let magic = take_bytes(&mut r, 8)?;
+        if magic != STATE_MAGIC {
+            return None;
+        }
+        let weights = read_tensor_list(&mut r)?;
+        let mut targets = self.state_tensors_mut();
+        if weights.len() != targets.len() {
+            return None;
+        }
+        for (dst, src) in targets.iter_mut().zip(weights) {
+            if dst.dims() != src.dims() {
+                return None;
+            }
+            **dst = src;
+        }
+        let t = u64::from_le_bytes(take_bytes(&mut r, 8)?.try_into().ok()?);
+        let m = read_tensor_list(&mut r)?;
+        let v = read_tensor_list(&mut r)?;
+        self.opt.import_state(automc_tensor::optim::AdamState { m, v, t });
+        let count = u64::from_le_bytes(take_bytes(&mut r, 8)?.try_into().ok()?) as usize;
+        if count > 10_000_000 {
+            return None;
+        }
+        let mut samples = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seq_len = u64::from_le_bytes(take_bytes(&mut r, 8)?.try_into().ok()?) as usize;
+            if seq_len > 10_000 {
+                return None;
+            }
+            let mut seq = Vec::with_capacity(seq_len);
+            for _ in 0..seq_len {
+                seq.push(u64::from_le_bytes(take_bytes(&mut r, 8)?.try_into().ok()?) as usize);
+            }
+            let cand = u64::from_le_bytes(take_bytes(&mut r, 8)?.try_into().ok()?) as usize;
+            let mut f = [0f32; 4];
+            for slot in &mut f {
+                *slot = f32::from_le_bytes(take_bytes(&mut r, 4)?.try_into().ok()?);
+            }
+            samples.push(StepSample {
+                seq,
+                cand,
+                state: [f[0], f[1]],
+                ar_step: f[2],
+                pr_step: f[3],
+            });
+        }
+        if !r.is_empty() {
+            return None;
+        }
+        self.samples = samples;
+        Some(())
     }
 
     /// Train on the replay buffer (Eq. 5). Returns the mean squared error
@@ -298,6 +461,67 @@ mod tests {
             fresh > after + 0.1,
             "prefix must matter: fresh {fresh} vs after {after}"
         );
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_training_identically() {
+        let mut rng = rng_from_seed(304);
+        let emb = toy_embeddings(6, 8, &mut rng);
+        let samples: Vec<StepSample> = (0..12)
+            .map(|i| StepSample {
+                seq: if i % 2 == 0 { vec![] } else { vec![i % 6] },
+                cand: i % 6,
+                state: [0.8, 1.0],
+                ar_step: -0.01 * i as f32,
+                pr_step: 0.05 * i as f32,
+            })
+            .collect();
+
+        // Straight run: 6 training epochs.
+        let mut straight = Fmo::new(emb.clone(), &mut rng_from_seed(1));
+        for s in &samples {
+            straight.observe(s.clone());
+        }
+        let mut rng_s = rng_from_seed(2);
+        straight.train(3, &mut rng_s);
+        let snapshot = straight.state_to_bytes();
+        straight.train(3, &mut rng_s);
+
+        // Resumed run: restore the 3-epoch snapshot into a fresh evaluator
+        // (different init RNG on purpose — weights come from the snapshot)
+        // and train the remaining epochs with the same RNG stream position.
+        let mut resumed = Fmo::new(emb, &mut rng_from_seed(99));
+        resumed.restore_state(&snapshot).expect("snapshot restores");
+        assert_eq!(resumed.samples.len(), samples.len());
+        // Advance the RNG past the first 3 epochs' shuffles exactly (each
+        // training epoch draws from the RNG only to shuffle the buffer).
+        let mut rng_r = rng_from_seed(2);
+        for _ in 0..3 {
+            let mut order: Vec<usize> = (0..samples.len()).collect();
+            order.shuffle(&mut rng_r);
+        }
+        resumed.train(3, &mut rng_r);
+
+        let a = straight.predict_batch(&vec![1, 2], [0.8, 0.9], &[0, 3, 5]);
+        let b = resumed.predict_batch(&vec![1, 2], [0.8, 0.9], &[0, 3, 5]);
+        for ((a1, a2), (b1, b2)) in a.iter().zip(&b) {
+            assert_eq!(a1.to_bits(), b1.to_bits());
+            assert_eq!(a2.to_bits(), b2.to_bits());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_state() {
+        let mut rng = rng_from_seed(305);
+        let emb = toy_embeddings(4, 8, &mut rng);
+        let fmo = Fmo::new(emb.clone(), &mut rng);
+        let bytes = fmo.state_to_bytes();
+        let mut truncated = bytes.clone();
+        truncated.truncate(bytes.len() - 3);
+        assert!(Fmo::new(emb.clone(), &mut rng).restore_state(&truncated).is_none());
+        let mut bad_magic = bytes;
+        bad_magic[0] ^= 0xFF;
+        assert!(Fmo::new(emb, &mut rng).restore_state(&bad_magic).is_none());
     }
 
     #[test]

@@ -6,6 +6,49 @@ use crate::pareto;
 use automc_compress::{Scheme, SchemeOutcome};
 use automc_json::{field, obj, FromJson, ToJson, Value};
 
+/// How a recorded evaluation ended. Failed candidates stay in the history
+/// — the search learned from spending budget on them — but are infeasible
+/// for Pareto selection and reporting.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum EvalStatus {
+    /// Evaluation completed with finite metrics.
+    #[default]
+    Ok,
+    /// Training diverged (non-finite loss/metrics); evaluation abandoned.
+    Diverged,
+    /// A panic was caught during evaluation; the message is kept for
+    /// diagnosis.
+    Panicked(String),
+}
+
+impl EvalStatus {
+    /// True for [`EvalStatus::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, EvalStatus::Ok)
+    }
+
+    fn to_json_value(&self) -> Value {
+        match self {
+            EvalStatus::Ok => Value::Str("ok".into()),
+            EvalStatus::Diverged => Value::Str("diverged".into()),
+            EvalStatus::Panicked(msg) => Value::Str(format!("panicked:{msg}")),
+        }
+    }
+
+    fn from_json_value(v: Option<&Value>) -> Option<EvalStatus> {
+        // Missing field = legacy record from before supervised execution.
+        let Some(v) = v else { return Some(EvalStatus::Ok) };
+        let Value::Str(s) = v else { return None };
+        Some(match s.as_str() {
+            "ok" => EvalStatus::Ok,
+            "diverged" => EvalStatus::Diverged,
+            other => EvalStatus::Panicked(
+                other.strip_prefix("panicked:").unwrap_or(other).to_string(),
+            ),
+        })
+    }
+}
+
 /// One evaluated scheme.
 #[derive(Debug, Clone)]
 pub struct EvalRecord {
@@ -25,6 +68,8 @@ pub struct EvalRecord {
     pub flops: u64,
     /// Cumulative budget units spent when this evaluation finished.
     pub cost_so_far: u64,
+    /// How the evaluation ended.
+    pub status: EvalStatus,
 }
 
 impl EvalRecord {
@@ -39,7 +84,31 @@ impl EvalRecord {
             params: out.metrics.params,
             flops: out.metrics.flops,
             cost_so_far,
+            status: EvalStatus::Ok,
         }
+    }
+
+    /// An infeasible record for a failed evaluation: zeroed metrics,
+    /// `pr = -1` (below any feasibility threshold `γ ≥ 0`), with the
+    /// failure mode kept in `status`.
+    pub fn failure(scheme: Scheme, status: EvalStatus, cost_so_far: u64) -> Self {
+        debug_assert!(!status.is_ok(), "failure records need a failure status");
+        EvalRecord {
+            scheme,
+            pr: -1.0,
+            fr: -1.0,
+            ar: -1.0,
+            acc: 0.0,
+            params: 0,
+            flops: 0,
+            cost_so_far,
+            status,
+        }
+    }
+
+    /// True if this record may participate in Pareto selection.
+    pub fn is_feasible(&self) -> bool {
+        self.status.is_ok()
     }
 }
 
@@ -54,6 +123,7 @@ impl ToJson for EvalRecord {
             ("params", self.params.to_json()),
             ("flops", self.flops.to_json()),
             ("cost_so_far", self.cost_so_far.to_json()),
+            ("status", self.status.to_json_value()),
         ])
     }
 }
@@ -69,6 +139,7 @@ impl FromJson for EvalRecord {
             params: field(v, "params")?,
             flops: field(v, "flops")?,
             cost_so_far: field(v, "cost_so_far")?,
+            status: EvalStatus::from_json_value(v.get("status"))?,
         })
     }
 }
@@ -111,11 +182,22 @@ impl SearchHistory {
         self.records.last().map_or(0, |r| r.cost_so_far)
     }
 
+    /// Record a failed evaluation as an infeasible entry.
+    pub fn push_failure(&mut self, scheme: Scheme, status: EvalStatus, cost_so_far: u64) {
+        self.records.push(EvalRecord::failure(scheme, status, cost_so_far));
+    }
+
+    /// Number of evaluations that ended in a failure.
+    pub fn failed_count(&self) -> usize {
+        self.records.iter().filter(|r| !r.is_feasible()).count()
+    }
+
     /// Indices of Pareto-optimal records on `[AR, PR]` among those meeting
-    /// the target `PR ≥ γ` (the paper's final-output rule).
+    /// the target `PR ≥ γ` (the paper's final-output rule). Failed
+    /// evaluations are never feasible.
     pub fn pareto_indices(&self, gamma: f32) -> Vec<usize> {
         let feasible: Vec<usize> = (0..self.records.len())
-            .filter(|&i| self.records[i].pr >= gamma)
+            .filter(|&i| self.records[i].is_feasible() && self.records[i].pr >= gamma)
             .collect();
         let points: Vec<(f32, f32)> =
             feasible.iter().map(|&i| (self.records[i].ar, self.records[i].pr)).collect();
@@ -140,7 +222,7 @@ impl SearchHistory {
         let mut best = f32::NEG_INFINITY;
         let mut curve = Vec::new();
         for r in &self.records {
-            if r.pr >= gamma && r.acc > best {
+            if r.is_feasible() && r.pr >= gamma && r.acc > best {
                 best = r.acc;
             }
             if best.is_finite() {
@@ -156,7 +238,17 @@ mod tests {
     use super::*;
 
     fn rec(pr: f32, ar: f32, acc: f32, cost: u64) -> EvalRecord {
-        EvalRecord { scheme: vec![], pr, fr: pr, ar, acc, params: 100, flops: 100, cost_so_far: cost }
+        EvalRecord {
+            scheme: vec![],
+            pr,
+            fr: pr,
+            ar,
+            acc,
+            params: 100,
+            flops: 100,
+            cost_so_far: cost,
+            status: EvalStatus::Ok,
+        }
     }
 
     #[test]
@@ -204,10 +296,38 @@ mod tests {
     fn roundtrips_through_json() {
         let mut h = SearchHistory::new("roundtrip");
         h.records.push(rec(0.4, 0.02, 0.82, 7));
+        h.push_failure(vec![3, 1], EvalStatus::Panicked("boom: at step".into()), 9);
+        h.push_failure(vec![2], EvalStatus::Diverged, 12);
         let text = h.to_json().to_string_pretty();
         let back = SearchHistory::from_json(&automc_json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.algorithm, "roundtrip");
-        assert_eq!(back.records.len(), 1);
+        assert_eq!(back.records.len(), 3);
         assert_eq!(back.records[0].cost_so_far, 7);
+        assert_eq!(back.records[1].status, EvalStatus::Panicked("boom: at step".into()));
+        assert_eq!(back.records[2].status, EvalStatus::Diverged);
+        assert_eq!(back.failed_count(), 2);
+    }
+
+    #[test]
+    fn legacy_records_without_status_are_ok() {
+        let text = r#"{"algorithm":"old","records":[{"scheme":[1],"pr":0.4,"fr":0.4,
+            "ar":0.1,"acc":0.8,"params":10,"flops":20,"cost_so_far":5}]}"#;
+        let back = SearchHistory::from_json(&automc_json::parse(text).unwrap()).unwrap();
+        assert_eq!(back.records[0].status, EvalStatus::Ok);
+    }
+
+    #[test]
+    fn failures_are_infeasible_everywhere() {
+        let mut h = SearchHistory::new("test");
+        h.records.push(rec(0.4, 0.02, 0.82, 1));
+        h.push_failure(vec![5], EvalStatus::Diverged, 2);
+        h.push_failure(vec![6], EvalStatus::Panicked("kaboom".into()), 3);
+        let front = h.pareto_indices(0.0);
+        assert_eq!(front, vec![0], "failed records must stay off the front");
+        assert!((h.best(0.0).unwrap().acc - 0.82).abs() < 1e-6);
+        let curve = h.best_acc_curve(0.0);
+        assert!(curve.iter().all(|&(_, acc)| (acc - 0.82).abs() < 1e-6));
+        assert_eq!(h.failed_count(), 2);
+        assert_eq!(h.total_cost(), 3, "failures still drain the budget");
     }
 }

@@ -1,0 +1,348 @@
+//! Crash-safe round journal for the progressive search.
+//!
+//! At the end of every search round the full resumable state — the
+//! evaluation history, `F_mo`'s learned weights and replay buffer, every
+//! extension node's model snapshot, the budget spent, and the RNG state —
+//! is written to one journal file. Writes are atomic (temp file + rename)
+//! so a crash mid-write leaves the previous round's journal intact, and
+//! the payload is checksummed (FNV-1a 64) so torn or corrupted files are
+//! detected and treated as "no journal" rather than trusted.
+//!
+//! A journal is keyed by a *run fingerprint* hashed from everything that
+//! shapes the run (problem instance, configuration, embeddings, seed); a
+//! journal whose fingerprint does not match the requesting run is ignored
+//! with a warning. Restoring a journal reproduces the interrupted run
+//! bitwise: resumed and uninterrupted searches emit identical histories.
+
+use crate::history::SearchHistory;
+use automc_compress::{Metrics, Scheme, StrategyId};
+use automc_json::{field, obj, FromJson, ToJson, Value};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// FNV-1a 64-bit hash — the journal and result-cache checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Lowercase hex encoding of a byte string.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+/// Decode [`to_hex`] output; `None` on odd length or non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 || !s.is_ascii() {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// Write `bytes` to `path` atomically: write a sibling temp file, then
+/// rename over the destination. Readers either see the old file or the
+/// new one, never a torn write.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+/// One extension node of the progressive search, with its compressed model
+/// serialised by `automc_models::serialize`.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// The strategy sequence that produced this node.
+    pub scheme: Scheme,
+    /// Measured metrics of the node's model.
+    pub metrics: Metrics,
+    /// Strategies already tried as one-step extensions (sorted).
+    pub explored: Vec<StrategyId>,
+    /// `automc_models::serialize::model_to_bytes` of the node's model.
+    pub model: Vec<u8>,
+}
+
+impl ToJson for NodeSnapshot {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("scheme", self.scheme.to_json()),
+            ("acc", self.metrics.acc.to_json()),
+            ("params", self.metrics.params.to_json()),
+            ("flops", self.metrics.flops.to_json()),
+            ("explored", self.explored.to_json()),
+            ("model", Value::Str(to_hex(&self.model))),
+        ])
+    }
+}
+
+impl FromJson for NodeSnapshot {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(NodeSnapshot {
+            scheme: field(v, "scheme")?,
+            metrics: Metrics {
+                acc: field(v, "acc")?,
+                params: field(v, "params")?,
+                flops: field(v, "flops")?,
+            },
+            explored: field(v, "explored")?,
+            model: from_hex(v.get("model")?.as_str()?)?,
+        })
+    }
+}
+
+/// The complete resumable state of one search run after a finished round.
+#[derive(Debug, Clone)]
+pub struct SearchJournal {
+    /// Hash of everything that shapes the run; a mismatch means the
+    /// journal belongs to a different run and must be ignored.
+    pub fingerprint: u64,
+    /// Number of completed rounds.
+    pub round: u64,
+    /// Budget units spent so far.
+    pub spent: u64,
+    /// xoshiro256** RNG state at the end of the round.
+    pub rng: [u64; 4],
+    /// Evaluation history so far.
+    pub history: SearchHistory,
+    /// `Fmo::state_to_bytes` snapshot.
+    pub fmo: Vec<u8>,
+    /// Every live extension node (including the root).
+    pub nodes: Vec<NodeSnapshot>,
+}
+
+impl ToJson for SearchJournal {
+    fn to_json(&self) -> Value {
+        let rng_hex = self
+            .rng
+            .iter()
+            .map(|w| Value::Str(format!("{w:016x}")))
+            .collect::<Vec<_>>();
+        obj(vec![
+            ("fingerprint", Value::Str(format!("{:016x}", self.fingerprint))),
+            ("round", self.round.to_json()),
+            ("spent", self.spent.to_json()),
+            ("rng", Value::Arr(rng_hex)),
+            ("history", self.history.to_json()),
+            ("fmo", Value::Str(to_hex(&self.fmo))),
+            ("nodes", self.nodes.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SearchJournal {
+    fn from_json(v: &Value) -> Option<Self> {
+        let fingerprint =
+            u64::from_str_radix(v.get("fingerprint")?.as_str()?, 16).ok()?;
+        let Value::Arr(rng_words) = v.get("rng")? else { return None };
+        if rng_words.len() != 4 {
+            return None;
+        }
+        let mut rng = [0u64; 4];
+        for (dst, w) in rng.iter_mut().zip(rng_words) {
+            *dst = u64::from_str_radix(w.as_str()?, 16).ok()?;
+        }
+        Some(SearchJournal {
+            fingerprint,
+            round: field(v, "round")?,
+            spent: field(v, "spent")?,
+            rng,
+            history: field(v, "history")?,
+            fmo: from_hex(v.get("fmo")?.as_str()?)?,
+            nodes: field(v, "nodes")?,
+        })
+    }
+}
+
+/// Persist a journal atomically. The JSON payload is wrapped in a
+/// checksummed envelope so corruption is detectable on load.
+pub fn save(path: &Path, journal: &SearchJournal) -> io::Result<()> {
+    let payload = journal.to_json().to_string_pretty();
+    let envelope = obj(vec![
+        (
+            "checksum",
+            Value::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+        ),
+        ("payload", Value::Str(payload)),
+    ]);
+    write_atomic(path, envelope.to_string_pretty().as_bytes())
+}
+
+/// Load a journal, validating the envelope checksum and the run
+/// fingerprint. Any failure — missing file, unparsable JSON, checksum
+/// mismatch, wrong fingerprint — returns `None`; corruption and
+/// mismatches are reported on stderr (a missing file is silent: that is
+/// the normal fresh-run case).
+pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+        Err(e) => {
+            eprintln!("warning: cannot read journal {}: {e}", path.display());
+            return None;
+        }
+    };
+    let invalid = || {
+        eprintln!(
+            "warning: journal {} is corrupt; starting fresh",
+            path.display()
+        );
+    };
+    let Ok(envelope) = automc_json::parse(&text) else {
+        invalid();
+        return None;
+    };
+    let (Some(checksum), Some(payload)) = (
+        envelope
+            .get("checksum")
+            .and_then(|c| c.as_str())
+            .and_then(|c| u64::from_str_radix(c, 16).ok()),
+        envelope.get("payload").and_then(|p| p.as_str()),
+    ) else {
+        invalid();
+        return None;
+    };
+    if fnv1a64(payload.as_bytes()) != checksum {
+        invalid();
+        return None;
+    }
+    let journal = match automc_json::parse(payload).ok().and_then(|v| SearchJournal::from_json(&v)) {
+        Some(j) => j,
+        None => {
+            invalid();
+            return None;
+        }
+    };
+    if journal.fingerprint != fingerprint {
+        eprintln!(
+            "warning: journal {} belongs to a different run \
+             (fingerprint {:016x}, expected {fingerprint:016x}); ignoring",
+            path.display(),
+            journal.fingerprint,
+        );
+        return None;
+    }
+    Some(journal)
+}
+
+/// Remove a journal once its run has completed. Errors (including the
+/// file already being gone) are ignored: a stale journal is merely
+/// re-validated and discarded on the next run.
+pub fn discard(path: &Path) {
+    let _ = fs::remove_file(path);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::EvalStatus;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "automc-journal-test-{}-{tag}.json",
+            std::process::id()
+        ))
+    }
+
+    fn sample_journal() -> SearchJournal {
+        let mut history = SearchHistory::new("AutoMC");
+        history.push_failure(vec![1, 2], EvalStatus::Diverged, 40);
+        SearchJournal {
+            fingerprint: 0xdead_beef_cafe_f00d,
+            round: 3,
+            spent: 1234,
+            rng: [1, u64::MAX, 0x1234_5678_9abc_def0, 42],
+            history,
+            fmo: vec![0, 1, 2, 255, 128],
+            nodes: vec![NodeSnapshot {
+                scheme: vec![7],
+                metrics: Metrics { acc: 0.875, params: 999, flops: 123_456 },
+                explored: vec![0, 7, 12],
+                model: vec![9, 8, 7],
+            }],
+        }
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let bytes = vec![0u8, 1, 15, 16, 127, 128, 255];
+        assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        assert!(from_hex("abc").is_none(), "odd length");
+        assert!(from_hex("zz").is_none(), "non-hex");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let path = temp_path("roundtrip");
+        let j = sample_journal();
+        save(&path, &j).unwrap();
+        let back = load(&path, j.fingerprint).expect("journal loads");
+        assert_eq!(back.round, 3);
+        assert_eq!(back.spent, 1234);
+        assert_eq!(back.rng, j.rng);
+        assert_eq!(back.fmo, j.fmo);
+        assert_eq!(back.history.records.len(), 1);
+        assert_eq!(back.history.records[0].status, EvalStatus::Diverged);
+        assert_eq!(back.nodes.len(), 1);
+        assert_eq!(back.nodes[0].scheme, vec![7]);
+        assert_eq!(back.nodes[0].metrics.acc.to_bits(), 0.875f32.to_bits());
+        assert_eq!(back.nodes[0].explored, vec![0, 7, 12]);
+        assert_eq!(back.nodes[0].model, vec![9, 8, 7]);
+        discard(&path);
+        assert!(load(&path, j.fingerprint).is_none(), "discard removes it");
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_journals_are_rejected() {
+        let path = temp_path("corrupt");
+        let j = sample_journal();
+        save(&path, &j).unwrap();
+        // Wrong fingerprint → ignored.
+        assert!(load(&path, j.fingerprint ^ 1).is_none());
+        // Flipped byte inside the payload → checksum mismatch.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(load(&path, j.fingerprint).is_none());
+        // Truncation → unparsable.
+        let good = {
+            save(&path, &j).unwrap();
+            fs::read(&path).unwrap()
+        };
+        fs::write(&path, &good[..good.len() / 2]).unwrap();
+        assert!(load(&path, j.fingerprint).is_none());
+        // Not JSON at all.
+        fs::write(&path, b"hello").unwrap();
+        assert!(load(&path, j.fingerprint).is_none());
+        discard(&path);
+    }
+}

@@ -27,6 +27,7 @@ mod context;
 mod evolution;
 mod fmo;
 pub mod history;
+pub mod journal;
 pub mod pareto;
 mod progressive;
 mod random;
@@ -36,7 +37,9 @@ pub mod transfer;
 pub use context::{SearchBudget, SearchContext};
 pub use evolution::{evolution_search, EvolutionConfig};
 pub use fmo::Fmo;
-pub use history::{EvalRecord, SearchHistory};
-pub use progressive::{progressive_search, AutoMcConfig};
+pub use history::{EvalRecord, EvalStatus, SearchHistory};
+pub use progressive::{
+    progressive_search, progressive_search_journaled, AutoMcConfig, JournalOptions,
+};
 pub use random::random_search;
 pub use rl::{rl_search, RlConfig};

@@ -11,13 +11,19 @@
 
 use crate::context::SearchContext;
 use crate::fmo::{Fmo, StepSample};
-use crate::history::{EvalRecord, SearchHistory};
+use crate::history::{EvalRecord, EvalStatus, SearchHistory};
+use crate::journal::{self, NodeSnapshot, SearchJournal};
 use crate::pareto;
 use automc_compress::{apply_strategy, Metrics, Scheme, StrategyId};
+use automc_models::serialize;
+use automc_models::train::divergence;
 use automc_models::ConvNet;
+use automc_tensor::fault::{self, FaultKind};
 use automc_tensor::Rng;
 use rand::seq::SliceRandom;
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// Knobs of the progressive search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,6 +49,28 @@ impl Default for AutoMcConfig {
     }
 }
 
+/// Crash-safety knobs of the progressive search. The default is no
+/// journaling — identical to the pre-journal behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct JournalOptions {
+    /// Journal file written after every round (`None` = no journaling).
+    pub path: Option<PathBuf>,
+    /// Attempt to resume from an existing journal at `path` before
+    /// starting. A missing, corrupt, or mismatched journal falls back to
+    /// a fresh run.
+    pub resume: bool,
+    /// Test hook: return (as if the process died) once this many rounds
+    /// have completed, leaving the journal on disk for a resumed run.
+    pub abort_after_rounds: Option<usize>,
+}
+
+impl JournalOptions {
+    /// Journal to `path`, resuming if a valid journal is already there.
+    pub fn resuming(path: PathBuf) -> Self {
+        JournalOptions { path: Some(path), resume: true, abort_after_rounds: None }
+    }
+}
+
 /// An evaluated scheme kept alive for extension.
 struct Node {
     scheme: Scheme,
@@ -51,20 +79,146 @@ struct Node {
     explored: HashSet<StrategyId>,
 }
 
+/// Hash of everything that shapes a run: the problem instance, the search
+/// configuration, the strategy embeddings, and the RNG's starting state.
+/// Journals carry this so a resumed run can only pick up state produced
+/// by an identical run.
+fn run_fingerprint(
+    ctx: &SearchContext<'_>,
+    embeddings: &[Vec<f32>],
+    cfg: &AutoMcConfig,
+    rng_state: [u64; 4],
+) -> u64 {
+    let mut buf: Vec<u8> = Vec::new();
+    buf.extend_from_slice(b"AutoMC-progressive-v1");
+    for w in [
+        ctx.space.len() as u64,
+        ctx.budget.units,
+        ctx.max_len as u64,
+        ctx.gamma.to_bits() as u64,
+        ctx.base_metrics.params as u64,
+        ctx.base_metrics.flops,
+        ctx.base_metrics.acc.to_bits() as u64,
+        cfg.sample_schemes as u64,
+        cfg.evals_per_round as u64,
+        cfg.candidate_sample as u64,
+        cfg.fmo_train_epochs as u64,
+    ] {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    for w in rng_state {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    for row in embeddings {
+        buf.extend_from_slice(&(row.len() as u64).to_le_bytes());
+        for &v in row {
+            buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+    journal::fnv1a64(&buf)
+}
+
+/// Decode a journal back into live search state. `None` (= start fresh)
+/// if any node model fails to deserialise.
+fn decode_nodes(snapshots: Vec<NodeSnapshot>) -> Option<Vec<Node>> {
+    let mut nodes = Vec::with_capacity(snapshots.len());
+    for snap in snapshots {
+        let model = serialize::model_from_bytes(&snap.model).ok()?;
+        nodes.push(Node {
+            scheme: snap.scheme,
+            model,
+            metrics: snap.metrics,
+            explored: snap.explored.into_iter().collect(),
+        });
+    }
+    Some(nodes)
+}
+
+fn snapshot_run(
+    fingerprint: u64,
+    round: u64,
+    spent: u64,
+    rng: &Rng,
+    history: &SearchHistory,
+    fmo: &Fmo,
+    nodes: &[Node],
+) -> SearchJournal {
+    SearchJournal {
+        fingerprint,
+        round,
+        spent,
+        rng: rng.state(),
+        history: history.clone(),
+        fmo: fmo.state_to_bytes(),
+        nodes: nodes
+            .iter()
+            .map(|n| {
+                let mut explored: Vec<StrategyId> = n.explored.iter().copied().collect();
+                explored.sort_unstable();
+                NodeSnapshot {
+                    scheme: n.scheme.clone(),
+                    metrics: n.metrics,
+                    explored,
+                    model: serialize::model_to_bytes(&n.model),
+                }
+            })
+            .collect(),
+    }
+}
+
 /// Run AutoMC's progressive search until the budget is exhausted.
 ///
 /// `embeddings` are the Algorithm 1 strategy embeddings (ablations pass
 /// differently-learned ones). Returns the full evaluation history; the
 /// Pareto-optimal schemes with `PR ≥ γ` are the paper's final output
 /// (`SearchHistory::pareto_indices`).
+///
+/// Thin wrapper over [`progressive_search_journaled`] with journaling
+/// disabled.
 pub fn progressive_search(
     ctx: &SearchContext<'_>,
     embeddings: Vec<Vec<f32>>,
     cfg: &AutoMcConfig,
     rng: &mut Rng,
 ) -> SearchHistory {
+    progressive_search_journaled(ctx, embeddings, cfg, rng, &JournalOptions::default())
+}
+
+/// [`progressive_search`] with supervised candidate evaluations and a
+/// crash-safe round journal.
+///
+/// Every candidate evaluation runs under `catch_unwind` with divergence
+/// detection: a panicking or diverging evaluation is recorded in the
+/// history as an infeasible [`EvalStatus`] failure (still charged at
+/// least one evaluation's budget, so failures cannot stall the search)
+/// and the round continues with the surviving candidates.
+///
+/// With `opts.path` set, the complete resumable state is journaled after
+/// every round with atomic writes; with `opts.resume`, a valid journal is
+/// restored and the run continues *bitwise identically* to one that was
+/// never interrupted. Fresh runs (no journal on disk) are also bitwise
+/// identical to un-journaled runs. The journal is deleted on normal
+/// completion.
+pub fn progressive_search_journaled(
+    ctx: &SearchContext<'_>,
+    embeddings: Vec<Vec<f32>>,
+    cfg: &AutoMcConfig,
+    rng: &mut Rng,
+    opts: &JournalOptions,
+) -> SearchHistory {
     assert_eq!(embeddings.len(), ctx.space.len(), "one embedding per strategy");
-    let mut fmo = Fmo::new(embeddings, rng);
+    let fingerprint = run_fingerprint(ctx, &embeddings, cfg, rng.state());
+    let loaded = if opts.resume {
+        opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
+    } else {
+        None
+    };
+
+    // Construct the evaluator unconditionally so a fresh (or
+    // failed-restore) run consumes exactly the same RNG draws as an
+    // un-journaled one.
+    let pre_fmo_rng = rng.state();
+    let mut fmo = Fmo::new(embeddings.clone(), rng);
     let mut history = SearchHistory::new("AutoMC");
     let mut nodes: Vec<Node> = vec![Node {
         scheme: Vec::new(),
@@ -73,6 +227,37 @@ pub fn progressive_search(
         explored: HashSet::new(),
     }];
     let mut spent = 0u64;
+    let mut round = 0u64;
+
+    if let Some(j) = loaded {
+        let restored = decode_nodes(j.nodes).and_then(|decoded| {
+            // `restore_state` may leave the evaluator partially
+            // overwritten on failure; the fallback below rebuilds it.
+            fmo.restore_state(&j.fmo).map(|()| decoded)
+        });
+        match restored {
+            Some(decoded) => {
+                history = j.history;
+                nodes = decoded;
+                spent = j.spent;
+                round = j.round;
+                *rng = Rng::from_state(j.rng);
+                eprintln!(
+                    "[journal] resumed AutoMC search at round {round} \
+                     ({spent}/{} units spent)",
+                    ctx.budget.units
+                );
+            }
+            None => {
+                eprintln!(
+                    "warning: journal passed validation but did not decode; \
+                     starting fresh"
+                );
+                *rng = Rng::from_state(pre_fmo_rng);
+                fmo = Fmo::new(embeddings, rng);
+            }
+        }
+    }
 
     while spent < ctx.budget.units {
         // ---- Sample H_sub: Pareto-front nodes plus random extras. ------
@@ -136,7 +321,10 @@ pub fn progressive_search(
         chosen.shuffle(rng);
         chosen.truncate(cfg.evals_per_round);
 
-        // ---- Evaluate the chosen extensions for real. -------------------
+        // ---- Evaluate the chosen extensions for real, supervised. ------
+        // Each evaluation runs under `catch_unwind` with divergence
+        // detection; a failed candidate becomes an infeasible history
+        // record and the round carries on.
         for &ti in &chosen {
             if spent >= ctx.budget.units {
                 break;
@@ -144,19 +332,52 @@ pub fn progressive_search(
             let (ni, cand, _, _) = tuples[ti];
             let prev_metrics = nodes[ni].metrics;
             let mut model = nodes[ni].model.clone_net();
-            let cost = apply_strategy(
-                ctx.space.spec(cand),
-                &mut model,
-                ctx.search_train,
-                &ctx.exec,
-                rng,
-            );
-            let metrics = Metrics::measure(&mut model, ctx.eval_set);
-            spent += cost.units() + ctx.eval_set.len() as u64;
+            let injected = fault::tick("eval");
+            divergence::reset();
+            let attempt = {
+                let model_ref = &mut model;
+                let rng_ref = &mut *rng;
+                catch_unwind(AssertUnwindSafe(move || {
+                    if injected == Some(FaultKind::Panic) {
+                        panic!("{}", fault::INJECTED_PANIC_MSG);
+                    }
+                    let cost = apply_strategy(
+                        ctx.space.spec(cand),
+                        model_ref,
+                        ctx.search_train,
+                        &ctx.exec,
+                        rng_ref,
+                    );
+                    let metrics = Metrics::measure(model_ref, ctx.eval_set);
+                    (cost, metrics)
+                }))
+            };
             nodes[ni].explored.insert(cand);
-
             let mut scheme = nodes[ni].scheme.clone();
             scheme.push(cand);
+
+            let (cost, metrics) = match attempt {
+                Ok(result) => result,
+                Err(payload) => {
+                    divergence::reset();
+                    // The aborted evaluation's true cost is unknowable;
+                    // charge one evaluation pass as a floor so repeated
+                    // failures still drain the budget.
+                    spent += (ctx.eval_set.len() as u64).max(1);
+                    history.push_failure(
+                        scheme,
+                        EvalStatus::Panicked(fault::payload_message(payload.as_ref())),
+                        spent,
+                    );
+                    continue;
+                }
+            };
+            spent += cost.units() + ctx.eval_set.len() as u64;
+            if divergence::take() || !metrics.acc.is_finite() {
+                history.push_failure(scheme, EvalStatus::Diverged, spent);
+                continue;
+            }
+
             // Observe the step for F_mo (Eq. 5 training data).
             fmo.observe(StepSample {
                 seq: nodes[ni].scheme.clone(),
@@ -178,12 +399,30 @@ pub fn progressive_search(
                 params: metrics.params,
                 flops: metrics.flops,
                 cost_so_far: spent,
+                status: EvalStatus::Ok,
             });
             nodes.push(Node { scheme, model, metrics, explored: HashSet::new() });
         }
 
         // ---- Retrain F_mo on everything observed so far (Eq. 5). -------
         fmo.train(cfg.fmo_train_epochs, rng);
+        round += 1;
+
+        // ---- Journal the completed round (atomic write). ---------------
+        if let Some(path) = opts.path.as_deref() {
+            let snap = snapshot_run(fingerprint, round, spent, rng, &history, &fmo, &nodes);
+            if let Err(e) = journal::save(path, &snap) {
+                eprintln!("warning: failed to write search journal {}: {e}", path.display());
+            }
+        }
+        if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {
+            // Simulated crash for the resume-determinism tests: the
+            // journal stays on disk, the partial history is returned.
+            return history;
+        }
+    }
+    if let Some(path) = opts.path.as_deref() {
+        journal::discard(path);
     }
     history
 }

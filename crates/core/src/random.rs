@@ -2,19 +2,22 @@
 //! uniformly and evaluate them end to end.
 
 use crate::context::SearchContext;
-use crate::history::{EvalRecord, SearchHistory};
-use automc_compress::{execute_scheme, Scheme};
+use crate::history::{EvalRecord, EvalStatus, SearchHistory};
+use automc_compress::{execute_scheme_checked, EvalOutcome, Scheme};
 use automc_tensor::Rng;
 use rand::Rng as _;
 
-/// Run random search until the budget is exhausted.
+/// Run random search until the budget is exhausted. Evaluations are
+/// supervised: a panicking or diverging scheme is logged as infeasible
+/// (charged at least one evaluation's budget) and the search continues.
 pub fn random_search(ctx: &SearchContext<'_>, rng: &mut Rng) -> SearchHistory {
     let mut history = SearchHistory::new("Random");
     let mut spent = 0u64;
+    let floor = (ctx.eval_set.len() as u64).max(1);
     while spent < ctx.budget.units {
         let len = rng.gen_range(1..=ctx.max_len);
         let scheme: Scheme = (0..len).map(|_| rng.gen_range(0..ctx.space.len())).collect();
-        let (_, outcome) = execute_scheme(
+        let result = execute_scheme_checked(
             ctx.base_model,
             &ctx.base_metrics,
             &scheme,
@@ -24,10 +27,18 @@ pub fn random_search(ctx: &SearchContext<'_>, rng: &mut Rng) -> SearchHistory {
             &ctx.exec,
             rng,
         );
-        spent += outcome.cost.units();
-        history
-            .records
-            .push(EvalRecord::from_outcome(scheme, &outcome, spent));
+        spent += result.charged_units(floor);
+        match result {
+            EvalOutcome::Ok { outcome, .. } => {
+                history.records.push(EvalRecord::from_outcome(scheme, &outcome, spent));
+            }
+            EvalOutcome::Diverged { .. } => {
+                history.push_failure(scheme, EvalStatus::Diverged, spent);
+            }
+            EvalOutcome::Panicked { msg, .. } => {
+                history.push_failure(scheme, EvalStatus::Panicked(msg), spent);
+            }
+        }
     }
     history
 }
@@ -68,5 +79,47 @@ mod tests {
         assert!(!history.records.is_empty());
         assert!(history.records.iter().all(|r| (1..=2).contains(&r.scheme.len())));
         assert!(history.total_cost() >= ctx.budget.units);
+    }
+
+    #[test]
+    fn random_search_degrades_gracefully_under_faults() {
+        use automc_tensor::fault::{self, FaultPlan};
+
+        let mut rng = rng_from_seed(321);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 80,
+            test: 40,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let base_metrics = Metrics::measure(&mut base, &eval_set);
+        let space = StrategySpace::full();
+        let ctx = SearchContext {
+            space: &space,
+            base_model: &base,
+            base_metrics,
+            search_train: &train_set,
+            eval_set: &eval_set,
+            exec: ExecConfig { pretrain_epochs: 2.0, ..Default::default() },
+            max_len: 2,
+            gamma: 0.2,
+            budget: SearchBudget::new(3_000),
+        };
+        // Panic the very first evaluation and poison an early training run;
+        // the search must absorb both and still exhaust its budget.
+        fault::install(FaultPlan::parse("panic@eval:1,nan@train:2").unwrap());
+        let history = random_search(&ctx, &mut rng);
+        fault::clear();
+        assert!(history.total_cost() >= ctx.budget.units, "search must finish");
+        assert!(history.failed_count() >= 1, "injected faults must be recorded");
+        assert!(
+            history.records.iter().any(|r| matches!(r.status, EvalStatus::Panicked(_))),
+            "the first evaluation was panicked by the plan"
+        );
+        // Failures never reach the reported front.
+        for i in history.pareto_indices(0.0) {
+            assert!(history.records[i].is_feasible());
+        }
     }
 }

@@ -9,8 +9,8 @@
 //! penalises missing the target rate γ.
 
 use crate::context::SearchContext;
-use crate::history::{EvalRecord, SearchHistory};
-use automc_compress::Scheme;
+use crate::history::{EvalRecord, EvalStatus, SearchHistory};
+use automc_compress::{EvalOutcome, Scheme};
 use automc_tensor::nn::Rnn;
 use automc_tensor::optim::{Adam, AdamConfig, Optimizer, Param};
 use automc_tensor::{loss, Rng, Tensor};
@@ -110,8 +110,11 @@ pub fn rl_search(ctx: &SearchContext<'_>, cfg: &RlConfig, rng: &mut Rng) -> Sear
             continue;
         }
 
-        // ---- Evaluate. ---------------------------------------------------
-        let (_, outcome) = automc_compress::execute_scheme(
+        // ---- Evaluate (supervised). --------------------------------------
+        // A failed episode is logged as infeasible, charged a budget
+        // floor, and yields no REINFORCE update: there is no trustworthy
+        // reward to learn from.
+        let result = automc_compress::execute_scheme_checked(
             ctx.base_model,
             &ctx.base_metrics,
             &scheme,
@@ -121,7 +124,18 @@ pub fn rl_search(ctx: &SearchContext<'_>, cfg: &RlConfig, rng: &mut Rng) -> Sear
             &ctx.exec,
             rng,
         );
-        spent += outcome.cost.units();
+        spent += result.charged_units((ctx.eval_set.len() as u64).max(1));
+        let outcome = match result {
+            EvalOutcome::Ok { outcome, .. } => outcome,
+            EvalOutcome::Diverged { .. } => {
+                history.push_failure(scheme, EvalStatus::Diverged, spent);
+                continue;
+            }
+            EvalOutcome::Panicked { msg, .. } => {
+                history.push_failure(scheme, EvalStatus::Panicked(msg), spent);
+                continue;
+            }
+        };
         history
             .records
             .push(EvalRecord::from_outcome(scheme.clone(), &outcome, spent));

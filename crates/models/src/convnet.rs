@@ -202,6 +202,18 @@ impl ConvNet {
         g
     }
 
+    /// Next tie-group id that [`ConvNet::alloc_tie_group`] would hand out
+    /// (journaled so a restored net keeps allocating fresh ids).
+    pub fn tie_group_watermark(&self) -> usize {
+        self.next_tie_group
+    }
+
+    /// Restore the tie-group watermark from a checkpoint. `watermark` must
+    /// be past every id in use, or future allocations would collide.
+    pub fn set_tie_group_watermark(&mut self, watermark: usize) {
+        self.next_tie_group = watermark;
+    }
+
     /// Sum basis gradients within each tie group and distribute the sum to
     /// every member, so a uniform optimizer step keeps tied weights equal.
     pub fn sync_tied_gradients(&mut self) {

@@ -35,6 +35,7 @@
 pub mod checkpoint;
 mod convnet;
 mod resnet;
+pub mod serialize;
 pub mod surgery;
 pub mod train;
 mod unit;

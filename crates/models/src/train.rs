@@ -3,8 +3,43 @@
 
 use crate::ConvNet;
 use automc_data::ImageSet;
+use automc_tensor::fault::{self, FaultKind};
 use automc_tensor::optim::{Optimizer, Sgd, SgdConfig};
 use automc_tensor::{loss, Rng, Tensor};
+
+pub mod divergence {
+    //! Thread-local divergence latch.
+    //!
+    //! [`train`](super::train) bails out when a batch loss turns
+    //! non-finite, but many call sites reach it through deep strategy
+    //! plumbing (`apply_strategy` → fine-tune → distill) that has no
+    //! channel for `TrainStats`. The latch gives supervisors one:
+    //! [`reset`] before a candidate evaluation, [`take`] afterwards —
+    //! any training run that diverged in between is reported. The latch
+    //! is thread-local because candidate evaluations always train on the
+    //! thread that submitted them.
+
+    use std::cell::Cell;
+
+    thread_local! {
+        static DIVERGED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Clear the latch (call before a supervised evaluation).
+    pub fn reset() {
+        DIVERGED.with(|c| c.set(false));
+    }
+
+    /// Record a divergence (called by [`train`](super::train)).
+    pub fn flag() {
+        DIVERGED.with(|c| c.set(true));
+    }
+
+    /// Read and clear the latch.
+    pub fn take() -> bool {
+        DIVERGED.with(|c| c.replace(false))
+    }
+}
 
 /// Plain-supervision training hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -87,6 +122,10 @@ pub struct TrainStats {
     pub final_loss: f32,
     /// Batches executed.
     pub batches: usize,
+    /// True if the run bailed out on a non-finite batch loss; the model
+    /// keeps the weights from before the poisoned batch, and the
+    /// thread-local [`divergence`] latch is flagged.
+    pub diverged: bool,
 }
 
 /// Train `model` on `data` with optional auxiliary supervision.
@@ -104,9 +143,13 @@ pub fn train(
         momentum: cfg.momentum,
         weight_decay: cfg.weight_decay,
     });
+    // One fault probe per training run: `nan@train:N` poisons the first
+    // batch loss of the N-th run, exercising the divergence bail-out.
+    let inject_nan = fault::tick("train") == Some(FaultKind::Nan);
     let mut done = 0usize;
     let mut loss_sum = 0.0f32;
     let mut loss_count = 0usize;
+    let mut diverged = false;
     'outer: loop {
         for (batch, labels) in data.batches(cfg.batch_size, rng) {
             if cfg.cosine_lr {
@@ -115,7 +158,7 @@ pub fn train(
                 opt.set_lr(cfg.lr * scale);
             }
             let logits = model.forward(&batch, true);
-            let (batch_loss, grad) = match &mut aux {
+            let (mut batch_loss, grad) = match &mut aux {
                 Auxiliary::None => loss::softmax_cross_entropy(&logits, &labels),
                 Auxiliary::Distill { teacher, temperature, alpha } => {
                     let t_logits = teacher.forward(&batch, false);
@@ -137,6 +180,18 @@ pub fn train(
                     (ce + *factor * aux_loss, grad)
                 }
             };
+            if inject_nan && done == 0 {
+                batch_loss = f32::NAN;
+            }
+            // A non-finite loss means the gradients are garbage: bail out
+            // *before* the weight update so the model keeps its last
+            // finite state, and flag the thread-local latch for whichever
+            // supervisor drove this run.
+            if !batch_loss.is_finite() {
+                diverged = true;
+                divergence::flag();
+                break 'outer;
+            }
             model.backward(&grad);
             if cfg.bn_gamma_l1 > 0.0 {
                 let l1 = cfg.bn_gamma_l1;
@@ -151,7 +206,7 @@ pub fn train(
             }
         }
     }
-    TrainStats { final_loss: loss_sum / loss_count.max(1) as f32, batches: done }
+    TrainStats { final_loss: loss_sum / loss_count.max(1) as f32, batches: done, diverged }
 }
 
 /// Classification accuracy of `model` on `data` (eval mode, batched).
@@ -287,6 +342,38 @@ mod tests {
             );
             assert!(stats.final_loss.is_finite(), "{kind:?} produced NaN loss");
         }
+    }
+
+    #[test]
+    fn injected_nan_bails_without_touching_weights() {
+        use automc_tensor::fault::{self, FaultPlan};
+        let mut rng = rng_from_seed(156);
+        let (train_set, _) = small_task();
+        let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        let before: Vec<u32> = net
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+            .collect();
+        fault::install(FaultPlan::parse("nan@train:1").unwrap());
+        divergence::reset();
+        let stats = train(
+            &mut net,
+            &train_set,
+            &TrainConfig { epochs: 1.0, ..TrainConfig::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        fault::clear();
+        assert!(stats.diverged);
+        assert!(divergence::take(), "latch must be flagged");
+        assert!(!divergence::take(), "take clears the latch");
+        let after: Vec<u32> = net
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.value.data().iter().map(|v| v.to_bits()))
+            .collect();
+        assert_eq!(before, after, "bail-out must precede the weight update");
     }
 
     #[test]

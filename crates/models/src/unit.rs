@@ -92,6 +92,11 @@ impl ConvBnRelu {
         }
     }
 
+    /// Reassemble a unit from deserialised layers (checkpoint restore).
+    pub fn from_parts(kernel: ConvKernel, bn: BatchNorm2d, with_relu: bool) -> Self {
+        ConvBnRelu { kernel, bn, with_relu, relu_mask: None }
+    }
+
     /// Output channels.
     pub fn out_channels(&self) -> usize {
         self.kernel.out_channels()
@@ -325,6 +330,11 @@ impl BasicBlock {
         }
     }
 
+    /// Reassemble a block from deserialised units (checkpoint restore).
+    pub fn from_parts(c1: ConvBnRelu, c2: ConvBnRelu, shortcut: Option<ConvBnRelu>) -> Self {
+        BasicBlock { c1, c2, shortcut, relu_mask: None }
+    }
+
     /// Output channels.
     pub fn out_channels(&self) -> usize {
         self.c2.out_channels()
@@ -414,6 +424,12 @@ impl Classifier {
     /// Head mapping `in_c` channels to `classes` logits.
     pub fn new(in_c: usize, classes: usize, rng: &mut Rng) -> Self {
         Classifier { gap: GlobalAvgPool::new(), linear: Linear::new(in_c, classes, rng) }
+    }
+
+    /// Reassemble a head from a deserialised linear layer (checkpoint
+    /// restore).
+    pub fn from_linear(linear: Linear) -> Self {
+        Classifier { gap: GlobalAvgPool::new(), linear }
     }
 
     /// Number of input channels expected.

@@ -1,0 +1,249 @@
+//! Deterministic fault injection for the recovery paths.
+//!
+//! Long compression searches are dominated by fallible candidate
+//! evaluations; the workspace hardens every one of them (panic isolation,
+//! NaN bail-out, checksummed caches, round journals). Those recovery
+//! paths are worthless if they are only exercised when something breaks
+//! by accident, so this module lets tests and the CI smoke stage schedule
+//! faults at *exact, reproducible* points:
+//!
+//! ```text
+//! AUTOMC_FAULTS=panic@eval:7,nan@train:12,corrupt@cache:3
+//! ```
+//!
+//! Each clause is `kind@site:ordinal`. A *site* is a named probe placed
+//! in the code (`fault::tick("eval")` at the top of every candidate
+//! evaluation, `"train"` at the start of every training run, `"cache"`
+//! before every cache write). The probe increments a per-site counter and
+//! reports the fault kind scheduled for that ordinal, if any — counting
+//! from 1, so `panic@eval:7` fires on the seventh evaluation.
+//!
+//! The plan and its counters are **thread-local**. Injected faults must
+//! never leak between concurrently running tests (cargo's test harness
+//! shares one process), and a deterministic per-thread count is only
+//! meaningful when the probes themselves run on a known thread — fault
+//! tests therefore pin the worker pool with `par::with_threads(1)`, and
+//! the CI smoke stage runs with `AUTOMC_THREADS=1`. A thread with no
+//! installed plan falls back to parsing `AUTOMC_FAULTS` from the
+//! environment once, on first probe.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// What to break at a fault site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Unwind with a recognisable payload (exercises `catch_unwind` paths).
+    Panic,
+    /// Poison a training loss with NaN (exercises divergence bail-out).
+    Nan,
+    /// Corrupt bytes about to be persisted (exercises checksum rejection).
+    Corrupt,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "nan" => Some(FaultKind::Nan),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// A schedule of faults: `(site, ordinal) -> kind`, ordinals counted per
+/// site from 1.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    scheduled: HashMap<(String, u64), FaultKind>,
+}
+
+impl FaultPlan {
+    /// Parse a comma-separated `kind@site:ordinal` spec. Malformed clauses
+    /// are reported in `Err`; an empty spec is an empty plan.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (kind_s, rest) = clause
+                .split_once('@')
+                .ok_or_else(|| format!("fault clause `{clause}`: expected kind@site:ordinal"))?;
+            let (site, ord_s) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("fault clause `{clause}`: expected kind@site:ordinal"))?;
+            let kind = FaultKind::parse(kind_s)
+                .ok_or_else(|| format!("fault clause `{clause}`: unknown kind `{kind_s}`"))?;
+            let ordinal: u64 = ord_s
+                .parse()
+                .map_err(|_| format!("fault clause `{clause}`: bad ordinal `{ord_s}`"))?;
+            if ordinal == 0 {
+                return Err(format!("fault clause `{clause}`: ordinals count from 1"));
+            }
+            plan.scheduled.insert((site.to_string(), ordinal), kind);
+        }
+        Ok(plan)
+    }
+
+    /// True if no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.scheduled.is_empty()
+    }
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    counters: HashMap<String, u64>,
+}
+
+thread_local! {
+    static STATE: RefCell<Option<FaultState>> = const { RefCell::new(None) };
+}
+
+fn env_plan() -> FaultPlan {
+    match std::env::var("AUTOMC_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                eprintln!("[fault] AUTOMC_FAULTS installed: {spec}");
+                plan
+            }
+            Err(e) => {
+                eprintln!("warning: ignoring AUTOMC_FAULTS: {e}");
+                FaultPlan::default()
+            }
+        },
+        _ => FaultPlan::default(),
+    }
+}
+
+/// Install `plan` on the current thread, resetting all site counters.
+pub fn install(plan: FaultPlan) {
+    STATE.with(|s| {
+        *s.borrow_mut() = Some(FaultState {
+            plan,
+            counters: HashMap::new(),
+        });
+    });
+}
+
+/// Remove the current thread's plan and counters. The next probe
+/// re-reads `AUTOMC_FAULTS`; tests that called [`install`] should call
+/// this on the way out.
+pub fn clear() {
+    STATE.with(|s| *s.borrow_mut() = None);
+}
+
+/// Probe a fault site: bump its per-thread counter and return the fault
+/// scheduled for this visit, if any. Call exactly once per guarded
+/// operation.
+pub fn tick(site: &str) -> Option<FaultKind> {
+    STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        let state = state.get_or_insert_with(|| FaultState {
+            plan: env_plan(),
+            counters: HashMap::new(),
+        });
+        if state.plan.is_empty() {
+            return None;
+        }
+        let n = state.counters.entry(site.to_string()).or_insert(0);
+        *n += 1;
+        let hit = state.plan.scheduled.get(&(site.to_string(), *n)).copied();
+        if let Some(kind) = hit {
+            eprintln!("[fault] injecting {kind:?} at {site}:{n}");
+        }
+        hit
+    })
+}
+
+/// The message used by [`FaultKind::Panic`] injections, recognisable in
+/// recovered panic payloads.
+pub const INJECTED_PANIC_MSG: &str = "injected fault: panic";
+
+/// Best-effort extraction of a recovered panic payload's message.
+/// `panic!` produces `&str` or `String` payloads; anything else is
+/// summarised by a placeholder rather than lost.
+pub fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Unwind if a panic fault is scheduled at this visit to `site`.
+/// Convenience wrapper for sites that only care about `Panic`.
+pub fn maybe_panic(site: &str) {
+    if tick(site) == Some(FaultKind::Panic) {
+        panic!("{INJECTED_PANIC_MSG} at {site}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("panic@eval:7, nan@train:12,corrupt@cache:3").unwrap();
+        assert_eq!(
+            plan.scheduled.get(&("eval".into(), 7)),
+            Some(&FaultKind::Panic)
+        );
+        assert_eq!(
+            plan.scheduled.get(&("train".into(), 12)),
+            Some(&FaultKind::Nan)
+        );
+        assert_eq!(
+            plan.scheduled.get(&("cache".into(), 3)),
+            Some(&FaultKind::Corrupt)
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(FaultPlan::parse("panic@eval").is_err());
+        assert!(FaultPlan::parse("panic:7").is_err());
+        assert!(FaultPlan::parse("explode@eval:7").is_err());
+        assert!(FaultPlan::parse("panic@eval:zero").is_err());
+        assert!(FaultPlan::parse("panic@eval:0").is_err(), "ordinals from 1");
+    }
+
+    #[test]
+    fn tick_fires_at_the_scheduled_ordinal_only() {
+        install(FaultPlan::parse("nan@train:3,panic@eval:1").unwrap());
+        assert_eq!(tick("eval"), Some(FaultKind::Panic));
+        assert_eq!(tick("eval"), None);
+        assert_eq!(tick("train"), None);
+        assert_eq!(tick("train"), None);
+        assert_eq!(tick("train"), Some(FaultKind::Nan));
+        assert_eq!(tick("train"), None);
+        clear();
+    }
+
+    #[test]
+    fn install_resets_counters_and_empty_plan_is_inert() {
+        install(FaultPlan::parse("panic@eval:2").unwrap());
+        assert_eq!(tick("eval"), None);
+        install(FaultPlan::parse("panic@eval:2").unwrap());
+        assert_eq!(tick("eval"), None);
+        assert_eq!(tick("eval"), Some(FaultKind::Panic));
+        install(FaultPlan::default());
+        for _ in 0..10 {
+            assert_eq!(tick("eval"), None);
+        }
+        clear();
+    }
+
+    #[test]
+    fn maybe_panic_unwinds_with_recognisable_payload() {
+        install(FaultPlan::parse("panic@site:1").unwrap());
+        let err = std::panic::catch_unwind(|| maybe_panic("site")).unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains(INJECTED_PANIC_MSG), "{msg}");
+        clear();
+    }
+}

@@ -49,6 +49,7 @@ mod matmul;
 mod shape;
 mod tensor;
 
+pub mod fault;
 pub mod init;
 pub mod linalg;
 pub mod loss;

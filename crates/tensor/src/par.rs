@@ -17,7 +17,9 @@
 //!
 //! **Panics.** A panicking task does not poison the pool: the panic is
 //! caught on the worker, the run is drained, and the submitting caller
-//! re-panics after all sibling tasks finish.
+//! re-panics after all sibling tasks finish. The re-raised panic carries
+//! the lowest-indexed failing task's index and original payload message,
+//! so callers (and their `catch_unwind` supervisors) see *what* failed.
 //!
 //! The pool is the one place in the tensor crate that needs `unsafe`: the
 //! submitting call blocks until every task of its run has finished, so
@@ -127,8 +129,24 @@ struct RunState {
     /// Tasks not yet finished; the finisher of the last one flags `done`.
     pending: AtomicUsize,
     panicked: AtomicBool,
+    /// `(task index, payload message)` of the lowest-indexed panicking
+    /// task, kept so the submitting caller can re-raise something more
+    /// actionable than "a task panicked somewhere".
+    panic_info: Mutex<Option<(usize, String)>>,
     done: Mutex<bool>,
     done_cv: Condvar,
+}
+
+/// Render a caught panic payload as text. Panics carry `&str` or `String`
+/// payloads in practice; anything else is reported by type only.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 struct Pool {
@@ -186,7 +204,14 @@ fn execute_tasks(run: &RunState) {
         }
         let job = &run.job;
         let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (job.call)(job.data, i) }));
-        if outcome.is_err() {
+        if let Err(payload) = outcome {
+            let mut info = run.panic_info.lock().unwrap();
+            // Tasks may fail on any worker in any order; keep the
+            // lowest-indexed failure so the re-raised message is stable.
+            if info.as_ref().map_or(true, |(first, _)| i < *first) {
+                *info = Some((i, payload_message(payload.as_ref())));
+            }
+            drop(info);
             run.panicked.store(true, Ordering::Release);
         }
         // The Release half of this RMW publishes the task's output writes;
@@ -220,6 +245,7 @@ fn run_tasks(job: Job, total: usize, threads: usize) {
         total,
         pending: AtomicUsize::new(total),
         panicked: AtomicBool::new(false),
+        panic_info: Mutex::new(None),
         done: Mutex::new(false),
         done_cv: Condvar::new(),
     });
@@ -237,7 +263,13 @@ fn run_tasks(job: Job, total: usize, threads: usize) {
     }
     drop(done);
     if run.panicked.load(Ordering::Acquire) {
-        panic!("a parallel task panicked");
+        let (index, msg) = run
+            .panic_info
+            .lock()
+            .unwrap()
+            .take()
+            .unwrap_or((usize::MAX, "<missing panic payload>".to_string()));
+        panic!("parallel task {index} panicked: {msg}");
     }
 }
 
@@ -476,6 +508,39 @@ mod tests {
             // Pool still functional afterwards.
             assert_eq!(par_map(4, |i| i).len(), 4);
         });
+    }
+
+    #[test]
+    fn repanic_carries_first_failing_index_and_payload() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    par_for(8, |i| {
+                        if i == 3 {
+                            panic!("boom at {i}");
+                        }
+                        if i == 6 {
+                            panic!("boom at {i}");
+                        }
+                    });
+                }))
+                .unwrap_err();
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<opaque>");
+                // With 1 thread task 3 fires first and the inline panic
+                // propagates as-is; on the pool the re-raise must name
+                // the lowest failing index and quote its payload.
+                assert!(msg.contains("boom at 3"), "got: {msg}");
+                if threads > 1 {
+                    assert!(msg.contains("parallel task 3"), "got: {msg}");
+                }
+                // Pool still functional afterwards.
+                assert_eq!(par_map(4, |i| i).len(), 4);
+            });
+        }
     }
 
     #[test]

@@ -1,8 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build + full test suite, fully offline.
+# Tier-1 gate: release build + full test suite, fully offline, then a
+# fault-injection smoke run and a recovery-path lint.
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
+
+# ---------------------------------------------------------------------------
+# Fault-injection smoke: the full Table 2 pipeline at the smallest scale,
+# with a seeded fault plan injecting a panic, a NaN, and a cache corruption.
+# The run must complete (degraded where the faults land, but structurally
+# valid) and print SMOKE OK. Single-threaded so the fault ordinals are
+# deterministic.
+# ---------------------------------------------------------------------------
+echo "== fault-injection smoke =="
+AUTOMC_THREADS=1 AUTOMC_FAULTS="panic@eval:2,nan@train:5,corrupt@cache:1" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 5 2>&1 | tee /tmp/automc-smoke.log
+grep -q "SMOKE OK" /tmp/automc-smoke.log
+echo "fault-injection smoke passed"
+
+# ---------------------------------------------------------------------------
+# Recovery-path lint: the modules that implement fault handling must not
+# unwrap in non-test code — a panic inside the recovery machinery defeats
+# it. Test modules (below the `mod tests` line) are exempt.
+# ---------------------------------------------------------------------------
+echo "== recovery-path lint =="
+lint_fail=0
+for f in crates/tensor/src/fault.rs crates/core/src/journal.rs \
+         crates/bench/src/cache.rs; do
+    nontest=$(sed '/^\(#\[cfg(test)\]\|mod tests\)/,$d' "$f")
+    if echo "$nontest" | grep -n 'unwrap()' >/dev/null; then
+        echo "lint: unwrap() in recovery path $f:"
+        echo "$nontest" | grep -n 'unwrap()'
+        lint_fail=1
+    fi
+done
+if [ "$lint_fail" -ne 0 ]; then
+    echo "recovery-path lint failed"
+    exit 1
+fi
+echo "recovery-path lint passed"
+
+echo "All checks passed."

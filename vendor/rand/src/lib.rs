@@ -171,6 +171,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot of the internal xoshiro256** state, for journaling a
+        /// generator mid-stream. Restoring with [`StdRng::from_state`]
+        /// continues the exact same sequence.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -278,6 +292,18 @@ mod tests {
         assert!(v.choose(&mut rng).is_some());
         let empty: [usize; 0] = [];
         assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn state_snapshot_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]
