@@ -62,7 +62,7 @@ fn main() {
                 let mut rows = Vec::new();
                 for method in MethodId::ALL {
                     eprintln!("[table3] {} on {target}…", method.name());
-                    rows.push(method_row_quick(&task, method, 0.4, seed));
+                    rows.push(method_row_quick(&task, method, 0.4, seed, fresh));
                 }
                 for (name, scheme) in &schemes {
                     match scheme {

@@ -18,16 +18,30 @@
 //! (`automc_tensor::fault`) flips payload bytes just before the n-th
 //! store to exercise that rejection path deterministically.
 
-use automc_core::journal::{fnv1a64, write_atomic};
+use automc_core::journal::{fnv1a64, write_atomic_retry};
 use automc_json::{field, obj, FromJson, ToJson, Value};
 use automc_tensor::fault::{self, FaultKind};
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Directory holding the cache files. Anchored to the workspace `target/`
-/// directory via the crate manifest, so binaries, tests, and benches agree
-/// on the location regardless of their working directory.
+/// Latched when a cache write keeps failing after retries: further stores
+/// become no-ops for the rest of the process (results are still returned
+/// to the caller — only their persistence is lost).
+static STORE_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Directory holding the cache files. `AUTOMC_RESULTS_DIR` overrides the
+/// location wholesale (the kill/resume smoke stage isolates its runs this
+/// way without forcing a rebuild via `CARGO_TARGET_DIR`); otherwise it is
+/// anchored to the workspace `target/` directory via the crate manifest,
+/// so binaries, tests, and benches agree on the location regardless of
+/// their working directory.
 pub fn cache_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("AUTOMC_RESULTS_DIR") {
+        if !dir.is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
     let base = std::env::var("CARGO_TARGET_DIR")
         .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").into());
     PathBuf::from(base).join("automc-results")
@@ -83,13 +97,22 @@ pub fn load<T: FromJson>(key: &str, fingerprint: &str) -> Option<T> {
     T::from_json(&value)
 }
 
-/// Store a value under a fingerprint (best-effort: cache failures only
-/// warn). The write is atomic and the payload checksummed, so readers
-/// never see a torn or partially-written entry.
+/// Store a value under a fingerprint. The write is atomic, retried with
+/// backoff, and the payload checksummed, so readers never see a torn or
+/// partially-written entry; a write that still fails after the retries
+/// disables result caching for the rest of the process (retry-then-disable
+/// — the computed value is returned to the caller either way).
 pub fn store<T: ToJson>(key: &str, fingerprint: &str, value: &T) {
+    if STORE_DISABLED.load(Ordering::Relaxed) {
+        return;
+    }
     let dir = cache_dir();
     if let Err(e) = fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create cache dir {dir:?}: {e}");
+        eprintln!(
+            "warning: cannot create cache dir {dir:?} ({e}); result caching \
+             disabled for this run"
+        );
+        STORE_DISABLED.store(true, Ordering::Relaxed);
         return;
     }
     let payload = obj(vec![
@@ -113,8 +136,12 @@ pub fn store<T: ToJson>(key: &str, fingerprint: &str, value: &T) {
             Value::Str(String::from_utf8_lossy(&payload_bytes).into_owned()),
         ),
     ]);
-    if let Err(e) = write_atomic(&cache_path(key), envelope.to_string_pretty().as_bytes()) {
-        eprintln!("warning: cannot write cache entry {key}: {e}");
+    if let Err(e) = write_atomic_retry(&cache_path(key), envelope.to_string_pretty().as_bytes()) {
+        eprintln!(
+            "warning: cache entry {key} keeps failing ({e}); result caching \
+             disabled for this run"
+        );
+        STORE_DISABLED.store(true, Ordering::Relaxed);
     }
 }
 

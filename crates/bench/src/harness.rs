@@ -6,9 +6,11 @@ use automc_compress::{
     execute_scheme_checked, EvalOutcome, ExecConfig, Metrics, MethodId, Scheme, StrategySpace,
     StrategySpec,
 };
+use automc_core::journal;
 use automc_core::{
-    evolution_search, progressive_search_journaled, random_search, rl_search, AutoMcConfig,
-    EvolutionConfig, JournalOptions, RlConfig, SearchBudget, SearchContext, SearchHistory,
+    evolution_search_journaled, progressive_search_journaled, random_search_journaled,
+    rl_search_journaled, AutoMcConfig, EvolutionConfig, JournalOptions, RlConfig, SearchBudget,
+    SearchContext, SearchHistory,
 };
 use automc_data::ImageSet;
 use automc_knowledge::{
@@ -24,8 +26,11 @@ use automc_tensor::{par, rng_for_task, rng_from_seed, Rng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-/// Whether interrupted AutoMC searches may resume from their round
-/// journal (default) or must restart from scratch (`--no-resume`).
+/// Whether interrupted searches and method-grid runs may resume from
+/// their journals (default) or must restart from scratch (`--no-resume`).
+/// Orthogonal to `--fresh`, which discards *completed* cached results:
+/// `--fresh` still resumes in-progress work unless `--no-resume` is also
+/// given.
 static RESUME: AtomicBool = AtomicBool::new(true);
 
 /// Toggle journal resume for this process (the `--no-resume` flag).
@@ -200,12 +205,16 @@ pub fn method_grid(method: MethodId, ratio: f32) -> Vec<StrategySpec> {
 }
 
 /// Grid-search a method on the search sample, then run the winning config
-/// on the full training data and report its row.
+/// on the full training data and report its row. `fresh` discards any
+/// cached row (the grid rows previously ignored `--fresh` and always
+/// reused the cache); an in-progress grid checkpoint still resumes unless
+/// `--no-resume` was given.
 pub fn method_baseline_row(
     task: &PreparedTask,
     method: MethodId,
     ratio: f32,
     seed: u64,
+    fresh: bool,
 ) -> FinalRow {
     let key = format!(
         "method_{}_{}_{}_r{}_s{seed}",
@@ -216,13 +225,9 @@ pub fn method_baseline_row(
     )
     .replace(['-', ' '], "_");
     let fp = run_fingerprint(&task.scale, seed);
-    if let Some(row) = cache::load::<FinalRow>(&key, &fp) {
-        eprintln!("[cache] reusing {key}");
-        return row;
-    }
-    let row = method_baseline_row_uncached(task, method, ratio, seed);
-    cache::store(&key, &fp, &row);
-    row
+    cache::load_or(&key, &fp, fresh, || {
+        method_baseline_row_uncached(task, method, ratio, seed, &key, &fp)
+    })
 }
 
 /// Transfer-study variant: skip per-target grid selection (Table 3 has
@@ -233,6 +238,7 @@ pub fn method_row_quick(
     method: MethodId,
     ratio: f32,
     seed: u64,
+    fresh: bool,
 ) -> FinalRow {
     let key = format!(
         "methodq_{}_{}_{}_r{}_s{seed}",
@@ -243,23 +249,17 @@ pub fn method_row_quick(
     )
     .replace(['-', ' '], "_");
     let fp = run_fingerprint(&task.scale, seed);
-    if let Some(row) = cache::load::<FinalRow>(&key, &fp) {
-        eprintln!("[cache] reusing {key}");
-        return row;
-    }
-    let mut rng = rng_for_task(seed ^ 0x7A00, method as u64);
-    let spec = method_grid(method, ratio)[0];
-    let mut model = task.base_model.clone_net();
-    let row = if supervised_apply(&spec, &mut model, &task.train_set, &task.exec, &mut rng)
-        .is_some()
-    {
-        let metrics = Metrics::measure(&mut model, &task.test_set);
-        FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None)
-    } else {
-        degraded_row(method.name(), "run failed")
-    };
-    cache::store(&key, &fp, &row);
-    row
+    cache::load_or(&key, &fp, fresh, || {
+        let mut rng = rng_for_task(seed ^ 0x7A00, method as u64);
+        let spec = method_grid(method, ratio)[0];
+        let mut model = task.base_model.clone_net();
+        if supervised_apply(&spec, &mut model, &task.train_set, &task.exec, &mut rng).is_some() {
+            let metrics = Metrics::measure(&mut model, &task.test_set);
+            FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None)
+        } else {
+            degraded_row(method.name(), "run failed")
+        }
+    })
 }
 
 /// Apply one strategy under supervision: `catch_unwind` isolation plus
@@ -323,48 +323,167 @@ fn degraded_row(name: &str, why: &str) -> FinalRow {
     }
 }
 
+/// Crash-safe checkpoint of an in-progress method-grid run: which
+/// configurations have been scored, the best so far, the RNG stream, and
+/// the fault-injection counters. Written (checksummed + atomic) after
+/// every grid configuration so a killed `table2` run resumes the grid
+/// bitwise-identically instead of re-running completed configurations.
+struct GridCkpt {
+    /// Identifies the exact run (`gridckpt-v1|<run fp>|<cache key>`); a
+    /// mismatch means the checkpoint belongs to a different run.
+    tag: String,
+    /// Grid configurations already scored.
+    done: usize,
+    /// Best `(sample accuracy, grid index)` among the scored configs.
+    best: Option<(f32, usize)>,
+    /// xoshiro256** RNG state after the last scored configuration.
+    rng: [u64; 4],
+    /// `automc_tensor::fault::counters` snapshot (see the search journal).
+    fault_counters: Vec<(String, u64)>,
+}
+
+impl GridCkpt {
+    fn to_json(&self) -> Value {
+        let rng_hex = self
+            .rng
+            .iter()
+            .map(|w| Value::Str(format!("{w:016x}")))
+            .collect::<Vec<_>>();
+        obj(vec![
+            ("tag", self.tag.to_json()),
+            ("done", self.done.to_json()),
+            ("best", self.best.to_json()),
+            ("rng", Value::Arr(rng_hex)),
+            ("fault_counters", self.fault_counters.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        let Value::Arr(rng_words) = v.get("rng")? else { return None };
+        if rng_words.len() != 4 {
+            return None;
+        }
+        let mut rng = [0u64; 4];
+        for (dst, w) in rng.iter_mut().zip(rng_words) {
+            *dst = u64::from_str_radix(w.as_str()?, 16).ok()?;
+        }
+        Some(GridCkpt {
+            tag: field(v, "tag")?,
+            done: field(v, "done")?,
+            best: field(v, "best")?,
+            rng,
+            fault_counters: field(v, "fault_counters")?,
+        })
+    }
+
+    fn load(path: &std::path::Path, tag: &str) -> Option<Self> {
+        let payload = journal::load_checksummed(path)?;
+        let ckpt = match automc_json::parse(&payload).ok().as_ref().and_then(Self::from_json) {
+            Some(c) => c,
+            None => {
+                eprintln!(
+                    "warning: grid checkpoint {} is corrupt; starting fresh",
+                    path.display()
+                );
+                return None;
+            }
+        };
+        if ckpt.tag != tag {
+            eprintln!(
+                "warning: grid checkpoint {} belongs to a different run; ignoring",
+                path.display()
+            );
+            return None;
+        }
+        Some(ckpt)
+    }
+}
+
 fn method_baseline_row_uncached(
     task: &PreparedTask,
     method: MethodId,
     ratio: f32,
     seed: u64,
+    key: &str,
+    fp: &str,
 ) -> FinalRow {
     // Task-id derivation keeps every (method, ratio) pair on its own RNG
     // stream; the previous `seed ^ label-length` scheme collided for
     // methods whose labels happened to share a length.
     let mut rng = rng_for_task(seed, ((ratio * 100.0) as u64) << 8 | method as u64);
     let grid = method_grid(method, ratio);
+    let journal_path = cache::cache_dir().join(format!("{key}.journal"));
+    let tag = format!("gridckpt-v1|{fp}|{key}");
     // Select by quick evaluation on the sample; failed configurations are
     // skipped rather than aborting the whole table.
-    let mut best: Option<(f32, &StrategySpec)> = None;
-    for spec in &grid {
+    let mut best: Option<(f32, usize)> = None;
+    let mut start = 0usize;
+    // Retry-then-disable, as for the search journals: a checkpoint write
+    // that keeps failing turns off checkpointing for this grid run.
+    let mut journal_to = Some(journal_path.as_path());
+    if resume_enabled() {
+        if let Some(ckpt) = GridCkpt::load(&journal_path, &tag) {
+            start = ckpt.done.min(grid.len());
+            best = ckpt.best;
+            rng = Rng::from_state(ckpt.rng);
+            fault::restore_counters(&ckpt.fault_counters);
+            eprintln!(
+                "[journal] resumed {}@{ratio} grid at configuration {start}/{}",
+                method.name(),
+                grid.len()
+            );
+        }
+    }
+    for (i, spec) in grid.iter().enumerate().skip(start) {
         let mut model = task.base_model.clone_net();
-        if supervised_apply(spec, &mut model, &task.search_sample, &task.exec, &mut rng).is_none()
+        if supervised_apply(spec, &mut model, &task.search_sample, &task.exec, &mut rng).is_some()
         {
-            continue;
+            let acc = automc_models::train::evaluate(&mut model, &task.search_eval);
+            if acc.is_finite() && best.map_or(true, |(b, _)| acc > b) {
+                best = Some((acc, i));
+            }
         }
-        let acc = automc_models::train::evaluate(&mut model, &task.search_eval);
-        if !acc.is_finite() {
-            continue;
-        }
-        if best.map_or(true, |(b, _)| acc > b) {
-            best = Some((acc, spec));
+        if let Some(path) = journal_to {
+            let ckpt = GridCkpt {
+                tag: tag.clone(),
+                done: i + 1,
+                best,
+                rng: rng.state(),
+                fault_counters: fault::counters(),
+            };
+            if let Err(e) = journal::save_checksummed(path, &ckpt.to_json().to_string_pretty()) {
+                eprintln!(
+                    "warning: grid checkpoint {} keeps failing ({e}); \
+                     checkpointing disabled for this run",
+                    path.display()
+                );
+                journal::discard(path);
+                journal_to = None;
+            }
         }
     }
-    let Some((_, spec)) = best else {
-        eprintln!(
-            "[harness] {}@{ratio}: every grid configuration failed; reporting degraded row",
-            method.name()
-        );
-        return degraded_row(method.name(), "all configurations failed");
-    };
-    // Final run on the full training split.
-    let mut model = task.base_model.clone_net();
-    if supervised_apply(spec, &mut model, &task.train_set, &task.exec, &mut rng).is_none() {
-        return degraded_row(method.name(), "final run failed");
-    }
-    let metrics = Metrics::measure(&mut model, &task.test_set);
-    FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None)
+    let row = (|| {
+        let Some((_, best_idx)) = best else {
+            eprintln!(
+                "[harness] {}@{ratio}: every grid configuration failed; reporting degraded row",
+                method.name()
+            );
+            return degraded_row(method.name(), "all configurations failed");
+        };
+        // Final run on the full training split. Not checkpointed: a kill
+        // here resumes past the fully-recorded grid and redoes only this
+        // run, with the RNG stream restored from the last checkpoint.
+        let mut model = task.base_model.clone_net();
+        if supervised_apply(&grid[best_idx], &mut model, &task.train_set, &task.exec, &mut rng)
+            .is_none()
+        {
+            return degraded_row(method.name(), "final run failed");
+        }
+        let metrics = Metrics::measure(&mut model, &task.test_set);
+        FinalRow::from_metrics(method.name().into(), &metrics, &task.base_metrics, None)
+    })();
+    journal::discard(&journal_path);
+    row
 }
 
 // ------------------------------------------------------------------------
@@ -541,21 +660,24 @@ pub fn run_search(
             budget: SearchBudget::new(task.scale.budget_units),
         };
         let started = std::time::Instant::now();
+        // Journal each round next to the result cache so a killed run —
+        // of any of the four algorithms — resumes (bitwise identically)
+        // instead of restarting.
+        let opts = JournalOptions {
+            path: Some(cache::cache_dir().join(format!("{key}.journal"))),
+            resume: resume_enabled(),
+            abort_after_rounds: None,
+        };
         let history = match algo {
             Algo::AutoMc => {
                 let emb = embeddings.expect("AutoMC needs embeddings").to_vec();
-                // Journal each round next to the result cache so a killed
-                // run resumes (bitwise identically) instead of restarting.
-                let opts = JournalOptions {
-                    path: Some(cache::cache_dir().join(format!("{key}.journal"))),
-                    resume: resume_enabled(),
-                    abort_after_rounds: None,
-                };
                 progressive_search_journaled(&ctx, emb, &AutoMcConfig::default(), &mut rng, &opts)
             }
-            Algo::Evolution => evolution_search(&ctx, &EvolutionConfig::default(), &mut rng),
-            Algo::Rl => rl_search(&ctx, &RlConfig::default(), &mut rng),
-            Algo::Random => random_search(&ctx, &mut rng),
+            Algo::Evolution => {
+                evolution_search_journaled(&ctx, &EvolutionConfig::default(), &mut rng, &opts)
+            }
+            Algo::Rl => rl_search_journaled(&ctx, &RlConfig::default(), &mut rng, &opts),
+            Algo::Random => random_search_journaled(&ctx, &mut rng, &opts),
         };
         eprintln!(
             "[harness] {} finished: {} evaluations, {:.1}s",
@@ -709,7 +831,7 @@ pub fn table2_rows(
             let method = MethodId::ALL[i / 2];
             let ratio = if i % 2 == 0 { 0.4 } else { 0.7 };
             eprintln!("[harness] {}: method {} @{ratio}…", exp.name, method.name());
-            vec![(i % 2, method_baseline_row(task_ref, method, ratio, seed))]
+            vec![(i % 2, method_baseline_row(task_ref, method, ratio, seed, fresh))]
         } else {
             let algo = Algo::ALL[i - n_method_tasks];
             let history = run_search(

@@ -25,7 +25,7 @@ fn mini_table2_pipeline() {
     assert!(task.base_metrics.acc > 0.4, "pretraining failed: {}", task.base_metrics.acc);
 
     // One method baseline.
-    let row = method_baseline_row(&task, MethodId::Ns, 0.4, seed);
+    let row = method_baseline_row(&task, MethodId::Ns, 0.4, seed, false);
     assert!(row.pr > 20.0, "NS row PR {}", row.pr);
     assert!(row.acc > 20.0);
 

@@ -46,4 +46,19 @@ impl SearchContext<'_> {
     pub fn can_extend(&self, len: usize) -> bool {
         len < self.max_len
     }
+
+    /// The problem-instance words every search folds into its run
+    /// fingerprint (see [`crate::journal::fingerprint`]): a journal may
+    /// only be resumed by a run with an identical instance.
+    pub fn fingerprint_words(&self) -> [u64; 7] {
+        [
+            self.space.len() as u64,
+            self.budget.units,
+            self.max_len as u64,
+            self.gamma.to_bits() as u64,
+            self.base_metrics.params as u64,
+            self.base_metrics.flops,
+            self.base_metrics.acc.to_bits() as u64,
+        ]
+    }
 }

@@ -69,55 +69,7 @@ impl Head {
 
 const STATE_MAGIC: &[u8; 8] = b"AUTOMCf1";
 
-fn take_bytes<'a>(r: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
-    if r.len() < n {
-        return None;
-    }
-    let (head, tail) = r.split_at(n);
-    *r = tail;
-    Some(head)
-}
-
-fn write_tensor_list(out: &mut Vec<u8>, tensors: &[&Tensor]) {
-    out.extend_from_slice(&(tensors.len() as u64).to_le_bytes());
-    for t in tensors {
-        out.extend_from_slice(&(t.dims().len() as u64).to_le_bytes());
-        for &d in t.dims() {
-            out.extend_from_slice(&(d as u64).to_le_bytes());
-        }
-        for &v in t.data() {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-}
-
-fn read_tensor_list(r: &mut &[u8]) -> Option<Vec<Tensor>> {
-    let count = u64::from_le_bytes(take_bytes(r, 8)?.try_into().ok()?) as usize;
-    if count > 1_000 {
-        return None;
-    }
-    let mut tensors = Vec::with_capacity(count);
-    for _ in 0..count {
-        let rank = u64::from_le_bytes(take_bytes(r, 8)?.try_into().ok()?) as usize;
-        if rank > 8 {
-            return None;
-        }
-        let mut dims = Vec::with_capacity(rank);
-        for _ in 0..rank {
-            dims.push(u64::from_le_bytes(take_bytes(r, 8)?.try_into().ok()?) as usize);
-        }
-        let numel: usize = dims.iter().product();
-        if numel > 100_000_000 {
-            return None;
-        }
-        let mut data = vec![0f32; numel];
-        for v in &mut data {
-            *v = f32::from_le_bytes(take_bytes(r, 4)?.try_into().ok()?);
-        }
-        tensors.push(Tensor::from_vec(&dims, data).ok()?);
-    }
-    Some(tensors)
-}
+use crate::statebytes::{read_tensor_list, take_bytes, write_tensor_list};
 
 /// The multi-objective evaluator.
 pub struct Fmo {

@@ -1,25 +1,42 @@
-//! Crash-safe round journal for the progressive search.
+//! Crash-safe round journal shared by all four search strategies.
 //!
 //! At the end of every search round the full resumable state — the
-//! evaluation history, `F_mo`'s learned weights and replay buffer, every
-//! extension node's model snapshot, the budget spent, and the RNG state —
-//! is written to one journal file. Writes are atomic (temp file + rename)
-//! so a crash mid-write leaves the previous round's journal intact, and
-//! the payload is checksummed (FNV-1a 64) so torn or corrupted files are
-//! detected and treated as "no journal" rather than trusted.
+//! evaluation history, the algorithm's opaque learner state (`F_mo` for
+//! AutoMC, the REINFORCE controller for RL, the population for the EA),
+//! every extension node's model reference, the budget spent, the RNG
+//! state, and the fault-injection counters — is written to one journal
+//! file. Writes are atomic (temp file + rename) so a crash mid-write
+//! leaves the previous round's journal intact, and the payload is
+//! checksummed (FNV-1a 64) so torn or corrupted files are detected and
+//! treated as "no journal" rather than trusted.
+//!
+//! Node models are stored as *content-addressed blobs* in a sibling
+//! `<journal>.blobs/` directory, keyed by the FNV-1a 64 hash of their
+//! bytes: the journal only references hashes, a blob is written once when
+//! its node first appears, and unreferenced blobs are garbage-collected
+//! after each successful journal write — so the per-round write cost is
+//! O(new nodes), not O(frontier). Blob contents are re-hashed on load; a
+//! missing or corrupt blob invalidates the journal.
 //!
 //! A journal is keyed by a *run fingerprint* hashed from everything that
 //! shapes the run (problem instance, configuration, embeddings, seed); a
 //! journal whose fingerprint does not match the requesting run is ignored
 //! with a warning. Restoring a journal reproduces the interrupted run
 //! bitwise: resumed and uninterrupted searches emit identical histories.
+//!
+//! Persistent write failures follow a retry-then-disable policy: each
+//! write is retried with backoff ([`write_atomic_retry`]), and a save that
+//! still fails is reported to the caller, which disables journaling for
+//! the rest of the run rather than silently continuing to trust a stale
+//! checkpoint.
 
 use crate::history::SearchHistory;
 use automc_compress::{Metrics, Scheme, StrategyId};
-use automc_json::{field, obj, FromJson, ToJson, Value};
+use automc_json::{field, obj, ToJson, Value};
+use automc_tensor::{fault, Rng};
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// FNV-1a 64-bit hash — the journal and result-cache checksum.
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -29,6 +46,22 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Hash a run fingerprint from a version tag, the run-shaping words
+/// (problem instance + algorithm configuration), and the RNG's starting
+/// state. Bump the tag whenever an algorithm's journal format or RNG
+/// draw order changes — an old journal must not resume a new binary.
+pub fn fingerprint(tag: &str, words: &[u64], rng_state: [u64; 4]) -> u64 {
+    let mut buf: Vec<u8> = Vec::with_capacity(tag.len() + (words.len() + 4) * 8);
+    buf.extend_from_slice(tag.as_bytes());
+    for &w in words {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    for w in rng_state {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    fnv1a64(&buf)
 }
 
 /// Lowercase hex encoding of a byte string.
@@ -67,131 +100,53 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     fs::rename(&tmp, path)
 }
 
-/// One extension node of the progressive search, with its compressed model
-/// serialised by `automc_models::serialize`.
-#[derive(Debug, Clone)]
-pub struct NodeSnapshot {
-    /// The strategy sequence that produced this node.
-    pub scheme: Scheme,
-    /// Measured metrics of the node's model.
-    pub metrics: Metrics,
-    /// Strategies already tried as one-step extensions (sorted).
-    pub explored: Vec<StrategyId>,
-    /// `automc_models::serialize::model_to_bytes` of the node's model.
-    pub model: Vec<u8>,
-}
-
-impl ToJson for NodeSnapshot {
-    fn to_json(&self) -> Value {
-        obj(vec![
-            ("scheme", self.scheme.to_json()),
-            ("acc", self.metrics.acc.to_json()),
-            ("params", self.metrics.params.to_json()),
-            ("flops", self.metrics.flops.to_json()),
-            ("explored", self.explored.to_json()),
-            ("model", Value::Str(to_hex(&self.model))),
-        ])
-    }
-}
-
-impl FromJson for NodeSnapshot {
-    fn from_json(v: &Value) -> Option<Self> {
-        Some(NodeSnapshot {
-            scheme: field(v, "scheme")?,
-            metrics: Metrics {
-                acc: field(v, "acc")?,
-                params: field(v, "params")?,
-                flops: field(v, "flops")?,
-            },
-            explored: field(v, "explored")?,
-            model: from_hex(v.get("model")?.as_str()?)?,
-        })
-    }
-}
-
-/// The complete resumable state of one search run after a finished round.
-#[derive(Debug, Clone)]
-pub struct SearchJournal {
-    /// Hash of everything that shapes the run; a mismatch means the
-    /// journal belongs to a different run and must be ignored.
-    pub fingerprint: u64,
-    /// Number of completed rounds.
-    pub round: u64,
-    /// Budget units spent so far.
-    pub spent: u64,
-    /// xoshiro256** RNG state at the end of the round.
-    pub rng: [u64; 4],
-    /// Evaluation history so far.
-    pub history: SearchHistory,
-    /// `Fmo::state_to_bytes` snapshot.
-    pub fmo: Vec<u8>,
-    /// Every live extension node (including the root).
-    pub nodes: Vec<NodeSnapshot>,
-}
-
-impl ToJson for SearchJournal {
-    fn to_json(&self) -> Value {
-        let rng_hex = self
-            .rng
-            .iter()
-            .map(|w| Value::Str(format!("{w:016x}")))
-            .collect::<Vec<_>>();
-        obj(vec![
-            ("fingerprint", Value::Str(format!("{:016x}", self.fingerprint))),
-            ("round", self.round.to_json()),
-            ("spent", self.spent.to_json()),
-            ("rng", Value::Arr(rng_hex)),
-            ("history", self.history.to_json()),
-            ("fmo", Value::Str(to_hex(&self.fmo))),
-            ("nodes", self.nodes.to_json()),
-        ])
-    }
-}
-
-impl FromJson for SearchJournal {
-    fn from_json(v: &Value) -> Option<Self> {
-        let fingerprint =
-            u64::from_str_radix(v.get("fingerprint")?.as_str()?, 16).ok()?;
-        let Value::Arr(rng_words) = v.get("rng")? else { return None };
-        if rng_words.len() != 4 {
-            return None;
+/// [`write_atomic`] with bounded retry and backoff for transient I/O
+/// errors (NFS hiccups, momentary ENOSPC). Three attempts with 10 ms /
+/// 50 ms pauses; each failure is logged, and the last error is returned
+/// once the attempts are exhausted so the caller can apply its
+/// persistent-failure policy (disable journaling for the run).
+pub fn write_atomic_retry(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    const BACKOFF_MS: [u64; 2] = [10, 50];
+    let mut attempt = 0usize;
+    loop {
+        match write_atomic(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(e) if attempt < BACKOFF_MS.len() => {
+                eprintln!(
+                    "warning: write of {} failed ({e}); retrying in {} ms",
+                    path.display(),
+                    BACKOFF_MS[attempt]
+                );
+                std::thread::sleep(std::time::Duration::from_millis(BACKOFF_MS[attempt]));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
         }
-        let mut rng = [0u64; 4];
-        for (dst, w) in rng.iter_mut().zip(rng_words) {
-            *dst = u64::from_str_radix(w.as_str()?, 16).ok()?;
-        }
-        Some(SearchJournal {
-            fingerprint,
-            round: field(v, "round")?,
-            spent: field(v, "spent")?,
-            rng,
-            history: field(v, "history")?,
-            fmo: from_hex(v.get("fmo")?.as_str()?)?,
-            nodes: field(v, "nodes")?,
-        })
     }
 }
 
-/// Persist a journal atomically. The JSON payload is wrapped in a
-/// checksummed envelope so corruption is detectable on load.
-pub fn save(path: &Path, journal: &SearchJournal) -> io::Result<()> {
-    let payload = journal.to_json().to_string_pretty();
+// ------------------------------------------------------------------------
+// Checksummed envelopes
+// ------------------------------------------------------------------------
+
+/// Wrap `payload` in a `{checksum, payload}` envelope and write it
+/// atomically with retry. Shared by the search journal and the harness's
+/// grid checkpoints.
+pub fn save_checksummed(path: &Path, payload: &str) -> io::Result<()> {
     let envelope = obj(vec![
         (
             "checksum",
             Value::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
         ),
-        ("payload", Value::Str(payload)),
+        ("payload", Value::Str(payload.to_string())),
     ]);
-    write_atomic(path, envelope.to_string_pretty().as_bytes())
+    write_atomic_retry(path, envelope.to_string_pretty().as_bytes())
 }
 
-/// Load a journal, validating the envelope checksum and the run
-/// fingerprint. Any failure — missing file, unparsable JSON, checksum
-/// mismatch, wrong fingerprint — returns `None`; corruption and
-/// mismatches are reported on stderr (a missing file is silent: that is
-/// the normal fresh-run case).
-pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
+/// Read a [`save_checksummed`] envelope back, validating the checksum.
+/// `None` on a missing file (silent — the normal fresh-run case) or on
+/// corruption (logged).
+pub fn load_checksummed(path: &Path) -> Option<String> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
@@ -224,7 +179,276 @@ pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
         invalid();
         return None;
     }
-    let journal = match automc_json::parse(payload).ok().and_then(|v| SearchJournal::from_json(&v)) {
+    Some(payload.to_string())
+}
+
+// ------------------------------------------------------------------------
+// Content-addressed model blobs
+// ------------------------------------------------------------------------
+
+/// The sibling directory holding a journal's content-addressed model
+/// blobs.
+pub fn blob_dir(journal: &Path) -> PathBuf {
+    let mut dir = journal.as_os_str().to_owned();
+    dir.push(".blobs");
+    PathBuf::from(dir)
+}
+
+fn blob_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("{hash:016x}.bin"))
+}
+
+/// Write `bytes` as a blob under `dir` unless its content hash is already
+/// present (content addressing makes re-writes pure overhead).
+fn store_blob(dir: &Path, hash: u64, bytes: &[u8]) -> io::Result<()> {
+    let path = blob_path(dir, hash);
+    if path.exists() {
+        return Ok(());
+    }
+    write_atomic_retry(&path, bytes)
+}
+
+/// Read a blob back and verify its content hash — a mismatch means disk
+/// corruption and invalidates the journal that referenced it.
+fn load_blob(dir: &Path, hash: u64) -> Option<Vec<u8>> {
+    let path = blob_path(dir, hash);
+    let bytes = match fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("warning: cannot read model blob {}: {e}", path.display());
+            return None;
+        }
+    };
+    if fnv1a64(&bytes) != hash {
+        eprintln!("warning: model blob {} fails its content hash", path.display());
+        return None;
+    }
+    Some(bytes)
+}
+
+/// Delete every blob in `dir` whose hash is not in `live` — called after
+/// a successful journal write, so the old journal (already replaced) can
+/// no longer reference the removed blobs. Errors are ignored: a stray
+/// blob only wastes space.
+fn collect_garbage(dir: &Path, live: &[u64]) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(".bin")) else {
+            continue;
+        };
+        let Ok(hash) = u64::from_str_radix(stem, 16) else { continue };
+        if !live.contains(&hash) {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// The journal itself
+// ------------------------------------------------------------------------
+
+/// Crash-safety knobs shared by all four search strategies. The default
+/// is no journaling — identical to the pre-journal behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct JournalOptions {
+    /// Journal file written after every round (`None` = no journaling).
+    pub path: Option<PathBuf>,
+    /// Attempt to resume from an existing journal at `path` before
+    /// starting. A missing, corrupt, or mismatched journal falls back to
+    /// a fresh run.
+    pub resume: bool,
+    /// Test hook: return (as if the process died) once this many rounds
+    /// have completed, leaving the journal on disk for a resumed run.
+    pub abort_after_rounds: Option<usize>,
+}
+
+impl JournalOptions {
+    /// Journal to `path`, resuming if a valid journal is already there.
+    pub fn resuming(path: PathBuf) -> Self {
+        JournalOptions { path: Some(path), resume: true, abort_after_rounds: None }
+    }
+}
+
+/// One extension node of the progressive search, with its compressed model
+/// serialised by `automc_models::serialize`.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// The strategy sequence that produced this node.
+    pub scheme: Scheme,
+    /// Measured metrics of the node's model.
+    pub metrics: Metrics,
+    /// Strategies already tried as one-step extensions (sorted).
+    pub explored: Vec<StrategyId>,
+    /// `automc_models::serialize::model_to_bytes` of the node's model.
+    pub model: Vec<u8>,
+}
+
+impl NodeSnapshot {
+    /// JSON form with the model replaced by its content hash; the bytes
+    /// themselves live in the blob store.
+    fn to_json_ref(&self, hash: u64) -> Value {
+        obj(vec![
+            ("scheme", self.scheme.to_json()),
+            ("acc", self.metrics.acc.to_json()),
+            ("params", self.metrics.params.to_json()),
+            ("flops", self.metrics.flops.to_json()),
+            ("explored", self.explored.to_json()),
+            ("model_blob", Value::Str(format!("{hash:016x}"))),
+        ])
+    }
+
+    /// Decode a node, resolving its model either from the legacy inline
+    /// hex field or from the blob store.
+    fn from_json_with_blobs(v: &Value, blobs: &Path) -> Option<Self> {
+        let model = if let Some(hex) = v.get("model").and_then(|m| m.as_str()) {
+            // Legacy journal with the model inline.
+            from_hex(hex)?
+        } else {
+            let hash =
+                u64::from_str_radix(v.get("model_blob")?.as_str()?, 16).ok()?;
+            load_blob(blobs, hash)?
+        };
+        Some(NodeSnapshot {
+            scheme: field(v, "scheme")?,
+            metrics: Metrics {
+                acc: field(v, "acc")?,
+                params: field(v, "params")?,
+                flops: field(v, "flops")?,
+            },
+            explored: field(v, "explored")?,
+            model,
+        })
+    }
+}
+
+/// The complete resumable state of one search run after a finished round.
+/// Shared by all four searches: the baselines leave `nodes` empty and pack
+/// their learner into `state` (the progressive search packs `F_mo` there).
+#[derive(Debug, Clone)]
+pub struct SearchJournal {
+    /// Hash of everything that shapes the run; a mismatch means the
+    /// journal belongs to a different run and must be ignored.
+    pub fingerprint: u64,
+    /// Number of completed rounds.
+    pub round: u64,
+    /// Budget units spent so far.
+    pub spent: u64,
+    /// xoshiro256** RNG state at the end of the round.
+    pub rng: [u64; 4],
+    /// Evaluation history so far.
+    pub history: SearchHistory,
+    /// Algorithm-opaque learner state (`Fmo::state_to_bytes` for AutoMC,
+    /// controller weights for RL, the population for the EA, empty for
+    /// random search).
+    pub state: Vec<u8>,
+    /// Every live extension node (progressive search only).
+    pub nodes: Vec<NodeSnapshot>,
+    /// Per-site fault-injection counters at the end of the round
+    /// (`automc_tensor::fault::counters`), journaled so resume and
+    /// `AUTOMC_FAULTS` compose: each planned fault fires exactly once
+    /// across a kill/resume boundary. Empty outside fault-injection runs.
+    pub fault_counters: Vec<(String, u64)>,
+}
+
+impl SearchJournal {
+    fn to_json_with_hashes(&self, hashes: &[u64]) -> Value {
+        let rng_hex = self
+            .rng
+            .iter()
+            .map(|w| Value::Str(format!("{w:016x}")))
+            .collect::<Vec<_>>();
+        let nodes = self
+            .nodes
+            .iter()
+            .zip(hashes)
+            .map(|(n, &h)| n.to_json_ref(h))
+            .collect::<Vec<_>>();
+        obj(vec![
+            ("fingerprint", Value::Str(format!("{:016x}", self.fingerprint))),
+            ("round", self.round.to_json()),
+            ("spent", self.spent.to_json()),
+            ("rng", Value::Arr(rng_hex)),
+            ("history", self.history.to_json()),
+            ("state", Value::Str(to_hex(&self.state))),
+            ("nodes", Value::Arr(nodes)),
+            ("fault_counters", self.fault_counters.to_json()),
+        ])
+    }
+
+    fn from_json_with_blobs(v: &Value, blobs: &Path) -> Option<Self> {
+        let fingerprint =
+            u64::from_str_radix(v.get("fingerprint")?.as_str()?, 16).ok()?;
+        let Value::Arr(rng_words) = v.get("rng")? else { return None };
+        if rng_words.len() != 4 {
+            return None;
+        }
+        let mut rng = [0u64; 4];
+        for (dst, w) in rng.iter_mut().zip(rng_words) {
+            *dst = u64::from_str_radix(w.as_str()?, 16).ok()?;
+        }
+        // `state` replaced the AutoMC-specific `fmo` field when journaling
+        // grew to the baselines; accept the old name.
+        let state_hex = v
+            .get("state")
+            .or_else(|| v.get("fmo"))?
+            .as_str()?;
+        let Value::Arr(node_values) = v.get("nodes")? else { return None };
+        let mut nodes = Vec::with_capacity(node_values.len());
+        for nv in node_values {
+            nodes.push(NodeSnapshot::from_json_with_blobs(nv, blobs)?);
+        }
+        Some(SearchJournal {
+            fingerprint,
+            round: field(v, "round")?,
+            spent: field(v, "spent")?,
+            rng,
+            history: field(v, "history")?,
+            state: from_hex(state_hex)?,
+            nodes,
+            fault_counters: field(v, "fault_counters").unwrap_or_default(),
+        })
+    }
+}
+
+/// Persist a journal atomically: node models go to the content-addressed
+/// blob store first (new blobs only), then the checksummed journal
+/// envelope is renamed into place, then blobs no longer referenced are
+/// garbage-collected. A crash at any point leaves either the previous
+/// journal (with all its blobs) or the new one intact.
+pub fn save(path: &Path, journal: &SearchJournal) -> io::Result<()> {
+    let hashes: Vec<u64> = journal.nodes.iter().map(|n| fnv1a64(&n.model)).collect();
+    let blobs = blob_dir(path);
+    if !journal.nodes.is_empty() {
+        fs::create_dir_all(&blobs)?;
+        for (node, &hash) in journal.nodes.iter().zip(&hashes) {
+            store_blob(&blobs, hash, &node.model)?;
+        }
+    }
+    let payload = journal.to_json_with_hashes(&hashes).to_string_pretty();
+    save_checksummed(path, &payload)?;
+    collect_garbage(&blobs, &hashes);
+    Ok(())
+}
+
+/// Load a journal, validating the envelope checksum, the run fingerprint,
+/// and every referenced blob's content hash. Any failure — missing file,
+/// unparsable JSON, checksum mismatch, wrong fingerprint, missing or
+/// corrupt blob — returns `None`; corruption and mismatches are reported
+/// on stderr (a missing file is silent: that is the normal fresh-run
+/// case).
+pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
+    let payload = load_checksummed(path)?;
+    let invalid = || {
+        eprintln!(
+            "warning: journal {} is corrupt; starting fresh",
+            path.display()
+        );
+    };
+    let journal = match automc_json::parse(&payload)
+        .ok()
+        .and_then(|v| SearchJournal::from_json_with_blobs(&v, &blob_dir(path)))
+    {
         Some(j) => j,
         None => {
             invalid();
@@ -243,11 +467,49 @@ pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
     Some(journal)
 }
 
-/// Remove a journal once its run has completed. Errors (including the
-/// file already being gone) are ignored: a stale journal is merely
-/// re-validated and discarded on the next run.
+/// Journal one completed round of a baseline search (no extension nodes;
+/// the learner packed into `state`), applying the retry-then-disable
+/// policy: if the save still fails after [`write_atomic_retry`]'s
+/// attempts, the stale journal is discarded and `journal_to` is cleared so
+/// the run continues un-journaled — a later resume must never trust a
+/// checkpoint older than the run that wrote it.
+pub fn checkpoint_round(
+    journal_to: &mut Option<&Path>,
+    fingerprint: u64,
+    round: u64,
+    spent: u64,
+    rng: &Rng,
+    history: &SearchHistory,
+    state: Vec<u8>,
+) {
+    let Some(path) = *journal_to else { return };
+    let snap = SearchJournal {
+        fingerprint,
+        round,
+        spent,
+        rng: rng.state(),
+        history: history.clone(),
+        state,
+        nodes: Vec::new(),
+        fault_counters: fault::counters(),
+    };
+    if let Err(e) = save(path, &snap) {
+        eprintln!(
+            "warning: journal {} keeps failing ({e}); journaling disabled \
+             for the rest of this run",
+            path.display()
+        );
+        discard(path);
+        *journal_to = None;
+    }
+}
+
+/// Remove a journal and its blob store once the run has completed. Errors
+/// (including the files already being gone) are ignored: a stale journal
+/// is merely re-validated and discarded on the next run.
 pub fn discard(path: &Path) {
     let _ = fs::remove_file(path);
+    let _ = fs::remove_dir_all(blob_dir(path));
 }
 
 #[cfg(test)]
@@ -272,13 +534,14 @@ mod tests {
             spent: 1234,
             rng: [1, u64::MAX, 0x1234_5678_9abc_def0, 42],
             history,
-            fmo: vec![0, 1, 2, 255, 128],
+            state: vec![0, 1, 2, 255, 128],
             nodes: vec![NodeSnapshot {
                 scheme: vec![7],
                 metrics: Metrics { acc: 0.875, params: 999, flops: 123_456 },
                 explored: vec![0, 7, 12],
                 model: vec![9, 8, 7],
             }],
+            fault_counters: vec![("eval".into(), 5), ("train".into(), 17)],
         }
     }
 
@@ -308,7 +571,8 @@ mod tests {
         assert_eq!(back.round, 3);
         assert_eq!(back.spent, 1234);
         assert_eq!(back.rng, j.rng);
-        assert_eq!(back.fmo, j.fmo);
+        assert_eq!(back.state, j.state);
+        assert_eq!(back.fault_counters, j.fault_counters);
         assert_eq!(back.history.records.len(), 1);
         assert_eq!(back.history.records[0].status, EvalStatus::Diverged);
         assert_eq!(back.nodes.len(), 1);
@@ -318,6 +582,7 @@ mod tests {
         assert_eq!(back.nodes[0].model, vec![9, 8, 7]);
         discard(&path);
         assert!(load(&path, j.fingerprint).is_none(), "discard removes it");
+        assert!(!blob_dir(&path).exists(), "discard removes the blob store");
     }
 
     #[test]
@@ -344,5 +609,108 @@ mod tests {
         fs::write(&path, b"hello").unwrap();
         assert!(load(&path, j.fingerprint).is_none());
         discard(&path);
+    }
+
+    #[test]
+    fn blobs_are_content_addressed_and_garbage_collected() {
+        let path = temp_path("blobs");
+        let mut j = sample_journal();
+        j.nodes.push(NodeSnapshot {
+            scheme: vec![1, 2],
+            metrics: Metrics { acc: 0.5, params: 10, flops: 20 },
+            explored: vec![],
+            model: vec![9, 8, 7], // same bytes as node 0 → same blob
+        });
+        save(&path, &j).unwrap();
+        let dir = blob_dir(&path);
+        let count = fs::read_dir(&dir).unwrap().count();
+        assert_eq!(count, 1, "identical models share one blob");
+
+        // A new node adds exactly one blob; dropping a node GCs its blob.
+        j.nodes.push(NodeSnapshot {
+            scheme: vec![3],
+            metrics: Metrics { acc: 0.6, params: 11, flops: 21 },
+            explored: vec![],
+            model: vec![1, 1, 2, 3, 5, 8],
+        });
+        save(&path, &j).unwrap();
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 2);
+        j.nodes.truncate(2); // drop the fibonacci model again
+        save(&path, &j).unwrap();
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            1,
+            "unreferenced blobs are collected"
+        );
+        let back = load(&path, j.fingerprint).unwrap();
+        assert_eq!(back.nodes.len(), 2);
+        assert_eq!(back.nodes[1].model, vec![9, 8, 7]);
+        discard(&path);
+    }
+
+    #[test]
+    fn corrupt_or_missing_blob_invalidates_the_journal() {
+        let path = temp_path("blob-corrupt");
+        let j = sample_journal();
+        save(&path, &j).unwrap();
+        let dir = blob_dir(&path);
+        let blob = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        // Corrupt the blob: content no longer matches its hash.
+        fs::write(&blob, b"junk").unwrap();
+        assert!(load(&path, j.fingerprint).is_none(), "corrupt blob rejected");
+        // Remove it entirely.
+        save(&path, &j).unwrap();
+        let blob = fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        fs::remove_file(&blob).unwrap();
+        assert!(load(&path, j.fingerprint).is_none(), "missing blob rejected");
+        discard(&path);
+    }
+
+    #[test]
+    fn legacy_inline_model_journals_still_load() {
+        let path = temp_path("legacy");
+        let j = sample_journal();
+        // Hand-build the pre-blob format: model hex inline, `fmo` field.
+        let node = &j.nodes[0];
+        let node_json = obj(vec![
+            ("scheme", node.scheme.to_json()),
+            ("acc", node.metrics.acc.to_json()),
+            ("params", node.metrics.params.to_json()),
+            ("flops", node.metrics.flops.to_json()),
+            ("explored", node.explored.to_json()),
+            ("model", Value::Str(to_hex(&node.model))),
+        ]);
+        let payload = obj(vec![
+            ("fingerprint", Value::Str(format!("{:016x}", j.fingerprint))),
+            ("round", j.round.to_json()),
+            ("spent", j.spent.to_json()),
+            (
+                "rng",
+                Value::Arr(
+                    j.rng.iter().map(|w| Value::Str(format!("{w:016x}"))).collect(),
+                ),
+            ),
+            ("history", j.history.to_json()),
+            ("fmo", Value::Str(to_hex(&j.state))),
+            ("nodes", Value::Arr(vec![node_json])),
+        ])
+        .to_string_pretty();
+        save_checksummed(&path, &payload).unwrap();
+        let back = load(&path, j.fingerprint).expect("legacy journal loads");
+        assert_eq!(back.state, j.state);
+        assert_eq!(back.nodes[0].model, j.nodes[0].model);
+        assert!(back.fault_counters.is_empty(), "legacy journals have no counters");
+        discard(&path);
+    }
+
+    #[test]
+    fn persistent_write_failure_is_reported() {
+        // A journal path whose parent is a regular file cannot be created;
+        // the retry loop must exhaust its attempts and surface the error.
+        let parent = temp_path("not-a-dir");
+        fs::write(&parent, b"file").unwrap();
+        let path = parent.join("journal.json");
+        assert!(save(&path, &sample_journal()).is_err());
+        let _ = fs::remove_file(&parent);
     }
 }

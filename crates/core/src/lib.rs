@@ -32,14 +32,14 @@ pub mod pareto;
 mod progressive;
 mod random;
 mod rl;
+mod statebytes;
 pub mod transfer;
 
 pub use context::{SearchBudget, SearchContext};
-pub use evolution::{evolution_search, EvolutionConfig};
+pub use evolution::{evolution_search, evolution_search_journaled, EvolutionConfig};
 pub use fmo::Fmo;
 pub use history::{EvalRecord, EvalStatus, SearchHistory};
-pub use progressive::{
-    progressive_search, progressive_search_journaled, AutoMcConfig, JournalOptions,
-};
-pub use random::random_search;
-pub use rl::{rl_search, RlConfig};
+pub use journal::JournalOptions;
+pub use progressive::{progressive_search, progressive_search_journaled, AutoMcConfig};
+pub use random::{random_search, random_search_journaled};
+pub use rl::{rl_search, rl_search_journaled, RlConfig};

@@ -12,7 +12,7 @@
 use crate::context::SearchContext;
 use crate::fmo::{Fmo, StepSample};
 use crate::history::{EvalRecord, EvalStatus, SearchHistory};
-use crate::journal::{self, NodeSnapshot, SearchJournal};
+use crate::journal::{self, JournalOptions, NodeSnapshot, SearchJournal};
 use crate::pareto;
 use automc_compress::{apply_strategy, Metrics, Scheme, StrategyId};
 use automc_models::serialize;
@@ -23,7 +23,6 @@ use automc_tensor::Rng;
 use rand::seq::SliceRandom;
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
 
 /// Knobs of the progressive search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,28 +45,6 @@ impl Default for AutoMcConfig {
             candidate_sample: 512,
             fmo_train_epochs: 3,
         }
-    }
-}
-
-/// Crash-safety knobs of the progressive search. The default is no
-/// journaling — identical to the pre-journal behaviour.
-#[derive(Debug, Clone, Default)]
-pub struct JournalOptions {
-    /// Journal file written after every round (`None` = no journaling).
-    pub path: Option<PathBuf>,
-    /// Attempt to resume from an existing journal at `path` before
-    /// starting. A missing, corrupt, or mismatched journal falls back to
-    /// a fresh run.
-    pub resume: bool,
-    /// Test hook: return (as if the process died) once this many rounds
-    /// have completed, leaving the journal on disk for a resumed run.
-    pub abort_after_rounds: Option<usize>,
-}
-
-impl JournalOptions {
-    /// Journal to `path`, resuming if a valid journal is already there.
-    pub fn resuming(path: PathBuf) -> Self {
-        JournalOptions { path: Some(path), resume: true, abort_after_rounds: None }
     }
 }
 
@@ -149,7 +126,8 @@ fn snapshot_run(
         spent,
         rng: rng.state(),
         history: history.clone(),
-        fmo: fmo.state_to_bytes(),
+        state: fmo.state_to_bytes(),
+        fault_counters: fault::counters(),
         nodes: nodes
             .iter()
             .map(|n| {
@@ -228,12 +206,16 @@ pub fn progressive_search_journaled(
     }];
     let mut spent = 0u64;
     let mut round = 0u64;
+    // Persistent-failure policy: a journal write that still fails after
+    // bounded retries disables journaling for the rest of the run, rather
+    // than leaving a stale checkpoint on disk that a resume would trust.
+    let mut journal_to = opts.path.as_deref();
 
     if let Some(j) = loaded {
         let restored = decode_nodes(j.nodes).and_then(|decoded| {
             // `restore_state` may leave the evaluator partially
             // overwritten on failure; the fallback below rebuilds it.
-            fmo.restore_state(&j.fmo).map(|()| decoded)
+            fmo.restore_state(&j.state).map(|()| decoded)
         });
         match restored {
             Some(decoded) => {
@@ -242,6 +224,7 @@ pub fn progressive_search_journaled(
                 spent = j.spent;
                 round = j.round;
                 *rng = Rng::from_state(j.rng);
+                fault::restore_counters(&j.fault_counters);
                 eprintln!(
                     "[journal] resumed AutoMC search at round {round} \
                      ({spent}/{} units spent)",
@@ -408,11 +391,17 @@ pub fn progressive_search_journaled(
         fmo.train(cfg.fmo_train_epochs, rng);
         round += 1;
 
-        // ---- Journal the completed round (atomic write). ---------------
-        if let Some(path) = opts.path.as_deref() {
+        // ---- Journal the completed round (atomic write + retry). -------
+        if let Some(path) = journal_to {
             let snap = snapshot_run(fingerprint, round, spent, rng, &history, &fmo, &nodes);
             if let Err(e) = journal::save(path, &snap) {
-                eprintln!("warning: failed to write search journal {}: {e}", path.display());
+                eprintln!(
+                    "warning: journal {} keeps failing ({e}); journaling \
+                     disabled for the rest of this run",
+                    path.display()
+                );
+                journal::discard(path);
+                journal_to = None;
             }
         }
         if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {

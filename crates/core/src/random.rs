@@ -3,16 +3,67 @@
 
 use crate::context::SearchContext;
 use crate::history::{EvalRecord, EvalStatus, SearchHistory};
+use crate::journal::{self, JournalOptions};
 use automc_compress::{execute_scheme_checked, EvalOutcome, Scheme};
+use automc_tensor::fault;
 use automc_tensor::Rng;
 use rand::Rng as _;
 
 /// Run random search until the budget is exhausted. Evaluations are
 /// supervised: a panicking or diverging scheme is logged as infeasible
 /// (charged at least one evaluation's budget) and the search continues.
+///
+/// Thin wrapper over [`random_search_journaled`] with journaling disabled.
 pub fn random_search(ctx: &SearchContext<'_>, rng: &mut Rng) -> SearchHistory {
+    random_search_journaled(ctx, rng, &JournalOptions::default())
+}
+
+/// [`random_search`] with a crash-safe per-evaluation journal.
+///
+/// Random search has no learner, so the journal's `state` stays empty:
+/// the resumable state is just the history, the RNG stream, the budget
+/// spent, and the fault-injection counters. With `opts.resume`, a valid
+/// journal is restored and the run continues *bitwise identically* to one
+/// that was never interrupted. The journal is deleted on normal
+/// completion.
+pub fn random_search_journaled(
+    ctx: &SearchContext<'_>,
+    rng: &mut Rng,
+    opts: &JournalOptions,
+) -> SearchHistory {
+    let fingerprint =
+        journal::fingerprint("AutoMC-random-v1", &ctx.fingerprint_words(), rng.state());
+    let loaded = if opts.resume {
+        opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
+    } else {
+        None
+    };
+
     let mut history = SearchHistory::new("Random");
     let mut spent = 0u64;
+    let mut round = 0u64;
+    let mut journal_to = opts.path.as_deref();
+
+    if let Some(j) = loaded {
+        if j.state.is_empty() {
+            history = j.history;
+            spent = j.spent;
+            round = j.round;
+            *rng = Rng::from_state(j.rng);
+            fault::restore_counters(&j.fault_counters);
+            eprintln!(
+                "[journal] resumed Random search at evaluation {round} \
+                 ({spent}/{} units spent)",
+                ctx.budget.units
+            );
+        } else {
+            eprintln!(
+                "warning: journal passed validation but did not decode; \
+                 starting fresh"
+            );
+        }
+    }
+
     let floor = (ctx.eval_set.len() as u64).max(1);
     while spent < ctx.budget.units {
         let len = rng.gen_range(1..=ctx.max_len);
@@ -39,6 +90,23 @@ pub fn random_search(ctx: &SearchContext<'_>, rng: &mut Rng) -> SearchHistory {
                 history.push_failure(scheme, EvalStatus::Panicked(msg), spent);
             }
         }
+        round += 1;
+        journal::checkpoint_round(
+            &mut journal_to,
+            fingerprint,
+            round,
+            spent,
+            rng,
+            &history,
+            Vec::new(),
+        );
+        if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {
+            // Simulated crash for the resume-determinism tests.
+            return history;
+        }
+    }
+    if let Some(path) = opts.path.as_deref() {
+        journal::discard(path);
     }
     history
 }

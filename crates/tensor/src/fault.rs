@@ -39,6 +39,10 @@ pub enum FaultKind {
     Nan,
     /// Corrupt bytes about to be persisted (exercises checksum rejection).
     Corrupt,
+    /// Terminate the process on the spot (exercises checkpoint/resume: a
+    /// `catch_unwind` cannot catch this — it simulates a `kill -9` at a
+    /// probed point). Handled inside [`tick`] itself.
+    Exit,
 }
 
 impl FaultKind {
@@ -47,6 +51,7 @@ impl FaultKind {
             "panic" => Some(FaultKind::Panic),
             "nan" => Some(FaultKind::Nan),
             "corrupt" => Some(FaultKind::Corrupt),
+            "exit" => Some(FaultKind::Exit),
             _ => None,
         }
     }
@@ -132,11 +137,19 @@ pub fn clear() {
     STATE.with(|s| *s.borrow_mut() = None);
 }
 
+/// The process exit code used by [`FaultKind::Exit`] injections, so a
+/// harness can tell a simulated kill from a genuine failure.
+pub const INJECTED_EXIT_CODE: i32 = 87;
+
 /// Probe a fault site: bump its per-thread counter and return the fault
 /// scheduled for this visit, if any. Call exactly once per guarded
 /// operation.
+///
+/// A scheduled [`FaultKind::Exit`] never returns: the process terminates
+/// immediately (exit code [`INJECTED_EXIT_CODE`]), simulating a hard kill
+/// that no `catch_unwind` can absorb — only a checkpoint survives it.
 pub fn tick(site: &str) -> Option<FaultKind> {
-    STATE.with(|s| {
+    let hit = STATE.with(|s| {
         let mut state = s.borrow_mut();
         let state = state.get_or_insert_with(|| FaultState {
             plan: env_plan(),
@@ -152,7 +165,51 @@ pub fn tick(site: &str) -> Option<FaultKind> {
             eprintln!("[fault] injecting {kind:?} at {site}:{n}");
         }
         hit
+    });
+    if hit == Some(FaultKind::Exit) {
+        eprintln!("[fault] simulated kill (exit {INJECTED_EXIT_CODE})");
+        std::process::exit(INJECTED_EXIT_CODE);
+    }
+    hit
+}
+
+/// Snapshot the current thread's per-site fault counters, sorted by site
+/// name, for journaling. With no plan installed (and none in the
+/// environment) no site ever counts, so this is empty — journals written
+/// outside fault-injection runs carry no counter state.
+pub fn counters() -> Vec<(String, u64)> {
+    STATE.with(|s| {
+        let state = s.borrow();
+        let mut out: Vec<(String, u64)> = state
+            .as_ref()
+            .map(|st| st.counters.iter().map(|(k, &v)| (k.clone(), v)).collect())
+            .unwrap_or_default();
+        out.sort();
+        out
     })
+}
+
+/// Restore journaled per-site counters into the current thread's fault
+/// state, so a resumed run composes with an active fault plan: sites
+/// continue counting where the checkpointed run left off and each planned
+/// fault fires exactly once across the kill/resume boundary. The plan
+/// itself is not journaled — it comes from [`install`] or `AUTOMC_FAULTS`
+/// as usual; restoring counters with no plan active is a no-op in effect.
+pub fn restore_counters(saved: &[(String, u64)]) {
+    if saved.is_empty() {
+        return;
+    }
+    STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        let state = state.get_or_insert_with(|| FaultState {
+            plan: env_plan(),
+            counters: HashMap::new(),
+        });
+        for (site, n) in saved {
+            let slot = state.counters.entry(site.clone()).or_insert(0);
+            *slot = (*slot).max(*n);
+        }
+    });
 }
 
 /// The message used by [`FaultKind::Panic`] injections, recognisable in
@@ -235,6 +292,30 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(tick("eval"), None);
         }
+        clear();
+    }
+
+    #[test]
+    fn counters_snapshot_and_restore_compose_across_a_restart() {
+        install(FaultPlan::parse("panic@eval:3").unwrap());
+        assert_eq!(tick("eval"), None);
+        assert_eq!(tick("eval"), None);
+        let saved = counters();
+        assert_eq!(saved, vec![("eval".to_string(), 2)]);
+        // Simulated process restart: a fresh install starts from zero…
+        install(FaultPlan::parse("panic@eval:3").unwrap());
+        assert!(counters().is_empty());
+        // …until the journaled counters are restored, after which the
+        // planned fault fires exactly once overall, not once per restart.
+        restore_counters(&saved);
+        assert_eq!(tick("eval"), Some(FaultKind::Panic));
+        assert_eq!(tick("eval"), None);
+        // Restoring stale counters never rewinds a site that is ahead.
+        restore_counters(&saved);
+        assert_eq!(counters(), vec![("eval".to_string(), 4)]);
+        // Restoring an empty snapshot is a no-op.
+        restore_counters(&[]);
+        assert_eq!(counters(), vec![("eval".to_string(), 4)]);
         clear();
     }
 

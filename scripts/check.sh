@@ -23,6 +23,41 @@ grep -q "SMOKE OK" /tmp/automc-smoke.log
 echo "fault-injection smoke passed"
 
 # ---------------------------------------------------------------------------
+# Kill/resume smoke: run the smallest Table 2 pipeline to completion for a
+# reference, then kill a second run mid-search with an injected process
+# exit, resume it from its journal, and require byte-identical stdout.
+# `AUTOMC_RESULTS_DIR` isolates each run's cache so the resumed run can
+# only reuse what the killed run actually persisted. The eval ordinal is
+# tuned to land inside a baseline search (after the method grid); if the
+# pipeline's evaluation count drifts, the exit-code check below fails
+# loudly and the ordinal needs retuning.
+# ---------------------------------------------------------------------------
+echo "== kill/resume smoke =="
+ref_dir=$(mktemp -d)
+res_dir=$(mktemp -d)
+trap 'rm -rf "$ref_dir" "$res_dir"' EXIT
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$ref_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 7 >/tmp/automc-resume-ref.out 2>/dev/null
+set +e
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$res_dir" AUTOMC_FAULTS="exit@eval:53" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 7 >/dev/null 2>&1
+kill_code=$?
+set -e
+if [ "$kill_code" -ne 87 ]; then
+    echo "kill/resume smoke: expected the injected kill (exit 87), got $kill_code"
+    exit 1
+fi
+ls "$res_dir"/*.journal >/dev/null  # the killed search must leave a journal
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$res_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --seed 7 >/tmp/automc-resume-res.out 2>/tmp/automc-resume-res.err
+grep -q '\[journal\] resumed' /tmp/automc-resume-res.err
+diff /tmp/automc-resume-ref.out /tmp/automc-resume-res.out
+echo "kill/resume smoke passed"
+
+# ---------------------------------------------------------------------------
 # Recovery-path lint: the modules that implement fault handling must not
 # unwrap in non-test code — a panic inside the recovery machinery defeats
 # it. Test modules (below the `mod tests` line) are exempt.
