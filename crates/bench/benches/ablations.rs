@@ -66,8 +66,10 @@ fn bench_prefix_cache(c: &mut Criterion) {
         })
     });
     group.bench_function("nonprogressive_full_reexec", |b| {
+        // Memoization would turn the re-execution into a cache hit and
+        // defeat the point of the comparison; measure it cold.
+        automc_compress::memo::set_enabled_for_thread(Some(false));
         b.iter(|| {
-            let mut rng = rng_from_seed(42);
             let (_, outcome) = execute_scheme(
                 &base,
                 &base_metrics,
@@ -76,10 +78,10 @@ fn bench_prefix_cache(c: &mut Criterion) {
                 &train_set,
                 &test_set,
                 &exec,
-                &mut rng,
             );
             black_box(outcome)
-        })
+        });
+        automc_compress::memo::set_enabled_for_thread(None);
     });
     group.finish();
 }

@@ -421,11 +421,17 @@ fn method_baseline_row_uncached(
     // Retry-then-disable, as for the search journals: a checkpoint write
     // that keeps failing turns off checkpointing for this grid run.
     let mut journal_to = Some(journal_path.as_path());
+    // The intent-record fingerprint for this grid run (the grid checkpoint
+    // itself is keyed by the string tag; intent records use a u64).
+    let intent_fp = journal::fnv1a64(tag.as_bytes());
     if resume_enabled() {
-        if let Some(ckpt) = GridCkpt::load(&journal_path, &tag) {
+        if let Some(mut ckpt) = GridCkpt::load(&journal_path, &tag) {
             start = ckpt.done.min(grid.len());
             best = ckpt.best;
             rng = Rng::from_state(ckpt.rng);
+            // An `exit@eval` fault that fired mid-grid left a pre-eval
+            // intent record; merging it stops the fault from re-arming.
+            journal::merge_eval_intent(&journal_path, intent_fp, &mut ckpt.fault_counters);
             fault::restore_counters(&ckpt.fault_counters);
             eprintln!(
                 "[journal] resumed {}@{ratio} grid at configuration {start}/{}",
@@ -435,6 +441,7 @@ fn method_baseline_row_uncached(
         }
     }
     for (i, spec) in grid.iter().enumerate().skip(start) {
+        journal::record_eval_intent(journal_to, intent_fp);
         let mut model = task.base_model.clone_net();
         if supervised_apply(spec, &mut model, &task.search_sample, &task.exec, &mut rng).is_some()
         {
@@ -473,6 +480,7 @@ fn method_baseline_row_uncached(
         // Final run on the full training split. Not checkpointed: a kill
         // here resumes past the fully-recorded grid and redoes only this
         // run, with the RNG stream restored from the last checkpoint.
+        journal::record_eval_intent(journal_to, intent_fp);
         let mut model = task.base_model.clone_net();
         if supervised_apply(&grid[best_idx], &mut model, &task.train_set, &task.exec, &mut rng)
             .is_none()
@@ -660,6 +668,7 @@ pub fn run_search(
             budget: SearchBudget::new(task.scale.budget_units),
         };
         let started = std::time::Instant::now();
+        let memo_before = automc_compress::memo::stats();
         // Journal each round next to the result cache so a killed run —
         // of any of the four algorithms — resumes (bitwise identically)
         // instead of restarting.
@@ -685,6 +694,21 @@ pub fn run_search(
             history.records.len(),
             started.elapsed().as_secs_f32()
         );
+        let memo = automc_compress::memo::stats().since(&memo_before);
+        if memo.lookups > 0 {
+            eprintln!(
+                "[memo] {}: {}/{} prefix hits ({:.1}%), {} full, {} negative, \
+                 {} steps / {} train images avoided",
+                algo.name(),
+                memo.prefix_hits,
+                memo.lookups,
+                memo.hit_rate_pct(),
+                memo.full_hits,
+                memo.neg_hits,
+                memo.steps_avoided,
+                memo.trained_images_avoided
+            );
+        }
         history
     })
 }
@@ -721,9 +745,8 @@ pub fn final_row(
     scheme: &Scheme,
     task: &PreparedTask,
     space: &StrategySpace,
-    seed: u64,
+    _seed: u64,
 ) -> FinalRow {
-    let mut rng = rng_for_task(seed ^ 0xF100, scheme.len() as u64);
     let result = execute_scheme_checked(
         &task.base_model,
         &task.base_metrics,
@@ -732,7 +755,6 @@ pub fn final_row(
         &task.train_set,
         &task.test_set,
         &task.exec,
-        &mut rng,
     );
     match result {
         EvalOutcome::Ok { outcome, .. } => FinalRow::from_metrics(
@@ -748,6 +770,10 @@ pub fn final_row(
         EvalOutcome::Panicked { step, ref msg, .. } => {
             eprintln!("[harness] final evaluation of {name} panicked at step {step}: {msg}");
             degraded_row(name, "final evaluation panicked")
+        }
+        EvalOutcome::TimedOut { step, .. } => {
+            eprintln!("[harness] final evaluation of {name} timed out at step {step}");
+            degraded_row(name, "final evaluation timed out")
         }
     }
 }

@@ -50,14 +50,24 @@ pub struct BenchArgs {
     /// Run the binary's smoke mode, if it has one (`--smoke`): the
     /// smallest end-to-end scale, used by the CI fault-injection stage.
     pub smoke: bool,
+    /// Prefix-model memoization override (`--memo on|off`). `None` defers
+    /// to `AUTOMC_MEMO` (default: enabled).
+    pub memo: Option<bool>,
 }
 
 impl BenchArgs {
-    /// Install the thread knob, resume policy, and fault plan into the
-    /// runtime.
+    /// Install the thread knob, resume policy, memo policy, and fault
+    /// plan into the runtime.
     pub fn apply(&self) {
         automc_tensor::par::configure_threads(self.threads);
         harness::set_resume(!self.no_resume);
+        automc_compress::memo::set_enabled_global(self.memo);
+        if automc_compress::memo::enabled() {
+            // Spill evicted/inserted prefix models next to the result
+            // cache so a relaunched process re-hits prefixes computed by
+            // an earlier run.
+            automc_compress::memo::set_spill_dir(Some(cache::cache_dir().join("memo")));
+        }
         if let Some(spec) = &self.faults {
             match automc_tensor::fault::FaultPlan::parse(spec) {
                 Ok(plan) => {
@@ -71,8 +81,8 @@ impl BenchArgs {
 }
 
 /// Parse `--seed N` / `--fresh` / `--threads N` / `--no-resume` /
-/// `--faults SPEC` from argv (tiny flag parser shared by the
-/// reproduction binaries).
+/// `--faults SPEC` / `--memo on|off` from argv (tiny flag parser shared
+/// by the reproduction binaries).
 pub fn parse_args() -> BenchArgs {
     let mut parsed = BenchArgs {
         seed: 42,
@@ -81,6 +91,7 @@ pub fn parse_args() -> BenchArgs {
         no_resume: false,
         faults: None,
         smoke: false,
+        memo: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -101,6 +112,16 @@ pub fn parse_args() -> BenchArgs {
             "--faults" => {
                 if let Some(v) = args.get(i + 1) {
                     parsed.faults = Some(v.clone());
+                    i += 1;
+                }
+            }
+            "--memo" => {
+                if let Some(v) = args.get(i + 1) {
+                    match v.as_str() {
+                        "on" => parsed.memo = Some(true),
+                        "off" => parsed.memo = Some(false),
+                        other => eprintln!("ignoring --memo {other} (want on|off)"),
+                    }
                     i += 1;
                 }
             }

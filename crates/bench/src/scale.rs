@@ -191,7 +191,15 @@ pub fn prepare_task_for_model(
         search_sample,
         search_eval,
         base_metrics,
-        exec: ExecConfig { pretrain_epochs: exp.pretrain_epochs, ..Default::default() },
+        // `eval_seed` pins every evaluation's RNG stream to the master
+        // seed (step RNGs derive from it and the scheme prefix alone), so
+        // all searches of a run share the prefix-model cache and results
+        // are identical at any thread count or cache state.
+        exec: ExecConfig {
+            pretrain_epochs: exp.pretrain_epochs,
+            eval_seed: seed ^ 0xE7A1_5EED,
+            ..Default::default()
+        },
     }
 }
 

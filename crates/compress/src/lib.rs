@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod memo;
 mod methods;
 pub mod quant;
 mod scheme;

@@ -32,6 +32,16 @@ pub struct ExecConfig {
     pub legr_population: usize,
     /// Images used for LeGR's inner fitness evaluations.
     pub legr_eval_images: usize,
+    /// Seed of the *evaluation* RNG streams. Every strategy step of a
+    /// scheme evaluation derives its RNG from `(eval_seed, scheme
+    /// prefix)` alone — never from the caller's search RNG — so a scheme
+    /// evaluates bitwise-identically no matter which search asked, in
+    /// which order, or how much of its prefix the memo cache supplied.
+    pub eval_seed: u64,
+    /// Cooperative per-evaluation cap on training mini-batches (0 =
+    /// unlimited). An evaluation that exceeds it is abandoned and
+    /// reported as timed out instead of hanging the search.
+    pub max_train_steps: u64,
 }
 
 impl Default for ExecConfig {
@@ -42,6 +52,8 @@ impl Default for ExecConfig {
             lr: 0.05,
             legr_population: 4,
             legr_eval_images: 128,
+            eval_seed: 0,
+            max_train_steps: 0,
         }
     }
 }

@@ -1,12 +1,23 @@
 //! Compression schemes: strategy sequences, execution, and the paper's
 //! metrics.
+//!
+//! Scheme execution is transparently memoized: the executor consults the
+//! shared prefix-model cache ([`crate::memo`]) for the longest already
+//! computed prefix of the scheme, resumes from its cached model, and
+//! publishes every newly computed prefix on the way out. Because every
+//! strategy step draws from an RNG derived only from `(eval_seed, scheme
+//! prefix)` ([`crate::memo::step_rng`]), results are bitwise-identical
+//! whether the cache hit at depth 0, 3, or L — memoization can change
+//! only the cost of an evaluation, never its outcome.
 
+use crate::memo::{self, FailKind, Hit};
 use crate::methods::{apply_strategy, ExecConfig};
 use crate::space::{StrategyId, StrategySpace};
 use automc_data::ImageSet;
-use automc_models::train::evaluate;
+use automc_models::train::{divergence, evaluate, step_budget};
 use automc_models::ConvNet;
-use automc_tensor::Rng;
+use automc_tensor::fault::{self, FaultKind, INJECTED_PANIC_MSG};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// A compression scheme `S = s₁ → s₂ → … → s_k` (paper §3.1).
 pub type Scheme = Vec<StrategyId>;
@@ -82,6 +93,9 @@ pub struct StepRecord {
     pub pr_step: f32,
     /// Metrics after the step.
     pub after: Metrics,
+    /// Cost of this step alone (its training plus its evaluation pass);
+    /// the per-step costs of an outcome sum to its total cost.
+    pub cost: EvalCost,
 }
 
 /// Result of executing a full scheme.
@@ -102,7 +116,7 @@ pub struct SchemeOutcome {
 }
 
 /// Outcome of one *supervised* scheme evaluation: completed with finite
-/// metrics, or one of the two failure modes the fault-tolerant execution
+/// metrics, or one of the failure modes the fault-tolerant execution
 /// layer isolates. Failed evaluations still report the cost spent before
 /// the failure so search budgets keep draining.
 pub enum EvalOutcome {
@@ -129,6 +143,15 @@ pub enum EvalOutcome {
         /// Cost spent before the panic.
         cost: EvalCost,
     },
+    /// The cooperative `max_train_steps` batch cap ran out at `step`
+    /// (see [`ExecConfig::max_train_steps`]); the evaluation was
+    /// abandoned instead of hanging the search.
+    TimedOut {
+        /// Index of the strategy step whose training was cut off.
+        step: usize,
+        /// Cost spent up to and including the truncated step.
+        cost: EvalCost,
+    },
 }
 
 impl EvalOutcome {
@@ -136,7 +159,9 @@ impl EvalOutcome {
     pub fn cost(&self) -> EvalCost {
         match self {
             EvalOutcome::Ok { outcome, .. } => outcome.cost,
-            EvalOutcome::Diverged { cost, .. } | EvalOutcome::Panicked { cost, .. } => *cost,
+            EvalOutcome::Diverged { cost, .. }
+            | EvalOutcome::Panicked { cost, .. }
+            | EvalOutcome::TimedOut { cost, .. } => *cost,
         }
     }
 
@@ -165,14 +190,43 @@ fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// [`execute_scheme`] under supervision: every strategy step runs inside
-/// `catch_unwind`, training divergence is detected via the thread-local
-/// latch plus a non-finite metrics check, and the `eval` fault site lets
-/// tests inject a panic into the Nth evaluation (`panic@eval:N`). A
-/// failure abandons the candidate model (which may be mid-surgery) and
-/// reports what was spent.
+/// Execution discipline of [`run_scheme`].
+enum Mode {
+    /// Unsupervised: panics propagate and a tripped failure latch keeps
+    /// executing (legacy behaviour of [`execute_scheme`]).
+    Plain,
+    /// Supervised: panics are caught, divergence and budget exhaustion
+    /// abort the evaluation, and the `eval` fault site may have injected
+    /// a panic.
+    Checked {
+        /// Fault injected into this evaluation by the active plan.
+        injected: Option<FaultKind>,
+    },
+}
+
+/// Arms the cooperative batch cap for the duration of one evaluation and
+/// guarantees it is disarmed on every exit path, including unwinds —
+/// unsupervised training must never inherit a stale cap.
+struct BudgetGuard;
+
+impl BudgetGuard {
+    fn arm(limit: u64) -> BudgetGuard {
+        step_budget::arm(limit);
+        BudgetGuard
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        step_budget::disarm();
+    }
+}
+
+/// The shared execution core of [`execute_scheme`] and
+/// [`execute_scheme_checked`]: memo lookup, per-step derived RNGs,
+/// per-step supervision, and memo publication.
 #[allow(clippy::too_many_arguments)]
-pub fn execute_scheme_checked(
+fn run_scheme(
     base_model: &ConvNet,
     base_metrics: &Metrics,
     scheme: &[StrategyId],
@@ -180,51 +234,134 @@ pub fn execute_scheme_checked(
     train_set: &ImageSet,
     eval_set: &ImageSet,
     cfg: &ExecConfig,
-    rng: &mut Rng,
+    mode: Mode,
 ) -> EvalOutcome {
-    use automc_models::train::divergence;
-    use automc_tensor::fault::{self, FaultKind, INJECTED_PANIC_MSG};
-    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let checked = matches!(mode, Mode::Checked { .. });
+    let injected = match mode {
+        Mode::Checked { injected } => injected,
+        Mode::Plain => None,
+    };
+    // Pass through the cache whenever a fault plan is active: a cache hit
+    // skips `train`-site ticks and would shift every later fault ordinal,
+    // so injection runs must behave exactly as if the memo did not exist.
+    let memo_on = !scheme.is_empty() && memo::enabled() && !fault::plan_active();
+    let keys = if memo_on {
+        memo::prefix_keys(base_model, train_set, eval_set, cfg, scheme, space)
+    } else {
+        Vec::new()
+    };
 
-    let injected = fault::tick("eval");
+    let _budget = BudgetGuard::arm(cfg.max_train_steps);
+
     let mut model = base_model.clone_net();
     let mut prev = *base_metrics;
-    let mut steps = Vec::with_capacity(scheme.len());
+    let mut steps: Vec<StepRecord> = Vec::with_capacity(scheme.len());
     let mut cost = EvalCost::default();
-    for (i, &sid) in scheme.iter().enumerate() {
+    let mut start = 0usize;
+    // A plain execution that trips a failure latch keeps going (legacy
+    // behaviour) but must stop publishing cache entries.
+    let mut poisoned = false;
+
+    if memo_on {
+        // The plain executor has no failure channel, so it may only
+        // resume from Good entries and recomputes through known-bad
+        // prefixes.
+        match memo::lookup_longest(&keys, !checked) {
+            Some(Hit::Good(hit)) => {
+                step_budget::charge(hit.train_batches);
+                start = hit.depth;
+                model = hit.model;
+                prev = hit.metrics;
+                steps = hit.steps;
+                cost = hit.cost;
+            }
+            Some(Hit::Failed(hit)) => {
+                return match hit.kind {
+                    FailKind::Diverged => {
+                        EvalOutcome::Diverged { step: hit.step, cost: hit.cost }
+                    }
+                    FailKind::Panicked(msg) => {
+                        EvalOutcome::Panicked { step: hit.step, msg, cost: hit.cost }
+                    }
+                    FailKind::TimedOut => {
+                        EvalOutcome::TimedOut { step: hit.step, cost: hit.cost }
+                    }
+                };
+            }
+            None => {}
+        }
+    }
+
+    for (i, &sid) in scheme.iter().enumerate().skip(start) {
         divergence::reset();
         let spec = space.spec(sid);
-        let step_result = catch_unwind(AssertUnwindSafe(|| {
-            if i == 0 && injected == Some(FaultKind::Panic) {
-                panic!("{INJECTED_PANIC_MSG} at eval");
-            }
-            let step_cost = apply_strategy(spec, &mut model, train_set, cfg, rng);
+        // Path-independent randomness: the step RNG is a pure function of
+        // (eval_seed, scheme prefix), so the result cannot depend on which
+        // search asked, on thread interleaving, or on the resume depth.
+        let mut rng = memo::step_rng(cfg.eval_seed, &scheme[..=i]);
+        let ran = if checked {
+            catch_unwind(AssertUnwindSafe(|| {
+                if i == 0 && injected == Some(FaultKind::Panic) {
+                    panic!("{INJECTED_PANIC_MSG} at eval");
+                }
+                let step_cost = apply_strategy(spec, &mut model, train_set, cfg, &mut rng);
+                let after = Metrics::measure(&mut model, eval_set);
+                (step_cost, after)
+            }))
+        } else {
+            let step_cost = apply_strategy(spec, &mut model, train_set, cfg, &mut rng);
             let after = Metrics::measure(&mut model, eval_set);
-            (step_cost, after)
-        }));
-        let (step_cost, after) = match step_result {
+            Ok((step_cost, after))
+        };
+        let (mut step_cost, after) = match ran {
             Ok(v) => v,
             Err(payload) => {
                 divergence::reset();
-                return EvalOutcome::Panicked {
-                    step: i,
-                    msg: payload_message(payload.as_ref()),
-                    cost,
-                };
+                let msg = payload_message(payload.as_ref());
+                if memo_on {
+                    // Organic panics are deterministic for this prefix
+                    // (injected ones imply an active plan, i.e. memo off).
+                    memo::insert_failed(
+                        keys[i],
+                        FailKind::Panicked(msg.clone()),
+                        i,
+                        cost,
+                        step_budget::used(),
+                    );
+                }
+                return EvalOutcome::Panicked { step: i, msg, cost };
             }
         };
+        step_cost.eval_images += eval_set.len() as u64;
         cost.add(step_cost);
-        cost.eval_images += eval_set.len() as u64;
-        if divergence::take() || !after.acc.is_finite() {
-            return EvalOutcome::Diverged { step: i, cost };
+        let diverged = divergence::take() || !after.acc.is_finite();
+        let timed_out = step_budget::take_exhausted();
+        if diverged || timed_out {
+            if checked {
+                if memo_on {
+                    let kind =
+                        if diverged { FailKind::Diverged } else { FailKind::TimedOut };
+                    memo::insert_failed(keys[i], kind, i, cost, step_budget::used());
+                }
+                return if diverged {
+                    EvalOutcome::Diverged { step: i, cost }
+                } else {
+                    EvalOutcome::TimedOut { step: i, cost }
+                };
+            }
+            poisoned = true;
         }
         steps.push(StepRecord {
             strategy: sid,
             ar_step: after.ar(&prev),
             pr_step: after.pr(&prev),
             after,
+            cost: step_cost,
         });
         prev = after;
+        if memo_on && !poisoned {
+            memo::insert_good(keys[i], &model, after, &steps, cost, step_budget::used());
+        }
     }
     let outcome = SchemeOutcome {
         metrics: prev,
@@ -237,14 +374,48 @@ pub fn execute_scheme_checked(
     EvalOutcome::Ok { model, outcome }
 }
 
+/// [`execute_scheme`] under supervision: every strategy step runs inside
+/// `catch_unwind`, training divergence is detected via the thread-local
+/// latch plus a non-finite metrics check, budget exhaustion surfaces as
+/// [`EvalOutcome::TimedOut`], and the `eval` fault site lets tests inject
+/// a panic into the Nth evaluation (`panic@eval:N`). A failure abandons
+/// the candidate model (which may be mid-surgery) and reports what was
+/// spent.
+///
+/// The fault tick fires once per *logical* evaluation — before the memo
+/// lookup — so cache hits never shift `eval`-site ordinals.
+pub fn execute_scheme_checked(
+    base_model: &ConvNet,
+    base_metrics: &Metrics,
+    scheme: &[StrategyId],
+    space: &StrategySpace,
+    train_set: &ImageSet,
+    eval_set: &ImageSet,
+    cfg: &ExecConfig,
+) -> EvalOutcome {
+    let injected = fault::tick("eval");
+    run_scheme(
+        base_model,
+        base_metrics,
+        scheme,
+        space,
+        train_set,
+        eval_set,
+        cfg,
+        Mode::Checked { injected },
+    )
+}
+
 /// Execute a scheme on a copy of `base_model`.
 ///
 /// * `train_set` — data available for (re-)training (the 10% sample during
 ///   search);
 /// * `eval_set` — held-out data for `A(M)`.
 ///
-/// Returns the compressed model and the outcome record.
-#[allow(clippy::too_many_arguments)]
+/// Returns the compressed model and the outcome record. All randomness is
+/// derived from `cfg.eval_seed` and the scheme itself (see
+/// [`crate::memo::step_rng`]), so identical inputs yield bitwise-identical
+/// outputs regardless of caller state.
 pub fn execute_scheme(
     base_model: &ConvNet,
     base_metrics: &Metrics,
@@ -253,34 +424,20 @@ pub fn execute_scheme(
     train_set: &ImageSet,
     eval_set: &ImageSet,
     cfg: &ExecConfig,
-    rng: &mut Rng,
 ) -> (ConvNet, SchemeOutcome) {
-    let mut model = base_model.clone_net();
-    let mut prev = *base_metrics;
-    let mut steps = Vec::with_capacity(scheme.len());
-    let mut cost = EvalCost::default();
-    for &sid in scheme {
-        let spec = space.spec(sid);
-        cost.add(apply_strategy(spec, &mut model, train_set, cfg, rng));
-        let after = Metrics::measure(&mut model, eval_set);
-        cost.eval_images += eval_set.len() as u64;
-        steps.push(StepRecord {
-            strategy: sid,
-            ar_step: after.ar(&prev),
-            pr_step: after.pr(&prev),
-            after,
-        });
-        prev = after;
+    match run_scheme(
+        base_model,
+        base_metrics,
+        scheme,
+        space,
+        train_set,
+        eval_set,
+        cfg,
+        Mode::Plain,
+    ) {
+        EvalOutcome::Ok { model, outcome } => (model, outcome),
+        _ => unreachable!("plain execution has no failure channel"),
     }
-    let outcome = SchemeOutcome {
-        metrics: prev,
-        pr: prev.pr(base_metrics),
-        fr: prev.fr(base_metrics),
-        ar: prev.ar(base_metrics),
-        steps,
-        cost,
-    };
-    (model, outcome)
 }
 
 #[cfg(test)]
@@ -329,13 +486,10 @@ mod tests {
     fn checked_matches_unchecked_without_faults() {
         let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
         let scheme = vec![0, 1];
-        let mut rng_a = rng_from_seed(42);
-        let mut rng_b = rng_from_seed(42);
-        let (_, plain) = execute_scheme(
-            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng_a,
-        );
+        let (_, plain) =
+            execute_scheme(&base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg);
         let checked = execute_scheme_checked(
-            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng_b,
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg,
         );
         match checked {
             EvalOutcome::Ok { outcome, .. } => {
@@ -349,18 +503,30 @@ mod tests {
     }
 
     #[test]
+    fn step_costs_sum_to_total_cost() {
+        let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
+        let scheme = vec![0, 1];
+        let (_, out) =
+            execute_scheme(&base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg);
+        let mut sum = EvalCost::default();
+        for s in &out.steps {
+            sum.add(s.cost);
+        }
+        assert_eq!(sum, out.cost, "per-step costs must reconcile with the total");
+    }
+
+    #[test]
     fn injected_eval_panic_is_caught() {
         use automc_tensor::fault::{self, FaultPlan};
         let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
         let scheme: Scheme = vec![0];
         fault::install(FaultPlan::parse("panic@eval:2").unwrap());
-        let mut rng = rng_from_seed(43);
         let first = execute_scheme_checked(
-            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng,
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg,
         );
         assert!(first.is_ok(), "fault scheduled for the second evaluation");
         let second = execute_scheme_checked(
-            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng,
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg,
         );
         fault::clear();
         match &second {
@@ -380,9 +546,8 @@ mod tests {
         let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
         let scheme: Scheme = vec![0];
         fault::install(FaultPlan::parse("nan@train:1").unwrap());
-        let mut rng = rng_from_seed(44);
         let out = execute_scheme_checked(
-            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg, &mut rng,
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg,
         );
         fault::clear();
         match out {
@@ -392,7 +557,38 @@ mod tests {
             }
             EvalOutcome::Ok { .. } => panic!("poisoned training must not report Ok"),
             EvalOutcome::Panicked { msg, .. } => panic!("unexpected panic: {msg}"),
+            EvalOutcome::TimedOut { .. } => panic!("no budget cap was armed"),
         }
+    }
+
+    #[test]
+    fn exhausted_step_budget_reports_timeout_and_is_negative_cached() {
+        let (base, base_metrics, space, train_set, eval_set, cfg) = checked_fixture();
+        let cfg = ExecConfig { max_train_steps: 1, ..cfg };
+        let scheme: Scheme = vec![0, 1];
+        crate::memo::set_enabled_for_thread(Some(true));
+        crate::memo::reset_stats();
+        let cold = execute_scheme_checked(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg,
+        );
+        let (step, cost) = match &cold {
+            EvalOutcome::TimedOut { step, cost } => (*step, *cost),
+            _ => panic!("a 1-batch cap must cut the evaluation short"),
+        };
+        assert!(cost.units() > 0, "the truncated step's planned cost is charged");
+        let warm = execute_scheme_checked(
+            &base, &base_metrics, &scheme, &space, &train_set, &eval_set, &cfg,
+        );
+        crate::memo::set_enabled_for_thread(None);
+        match warm {
+            EvalOutcome::TimedOut { step: s2, cost: c2 } => {
+                assert_eq!(s2, step, "replayed failure reports the recorded step");
+                assert_eq!(c2, cost, "replayed failure reports the recorded cost");
+            }
+            _ => panic!("the known-bad prefix must be negative-cached"),
+        }
+        let stats = crate::memo::stats();
+        assert!(stats.neg_hits >= 1, "second call must hit the negative cache");
     }
 
     #[test]
@@ -408,16 +604,8 @@ mod tests {
         let base_metrics = Metrics::measure(&mut base, &eval_set);
         let space = StrategySpace::full();
         let cfg = ExecConfig { pretrain_epochs: 1.0, ..ExecConfig::default() };
-        let (model, out) = execute_scheme(
-            &base,
-            &base_metrics,
-            &[],
-            &space,
-            &train_set,
-            &eval_set,
-            &cfg,
-            &mut rng,
-        );
+        let (model, out) =
+            execute_scheme(&base, &base_metrics, &[], &space, &train_set, &eval_set, &cfg);
         assert_eq!(model.param_count(), base.param_count());
         assert_eq!(out.pr, 0.0);
         assert_eq!(out.ar, 0.0);

@@ -1,0 +1,218 @@
+//! The prefix-memoization contract: a scheme evaluates *bitwise
+//! identically* whether it misses the cache, fully hits it, resumes from
+//! a sibling's shared prefix, or is served from the spill store — at any
+//! thread count — and the cache stays correct under LRU eviction.
+
+use automc_compress::{
+    execute_scheme_checked, memo, EvalOutcome, ExecConfig, Metrics, MethodId, Scheme,
+    StrategySpace,
+};
+use automc_data::{DatasetSpec, ImageSet, SyntheticKind};
+use automc_models::train::{train, Auxiliary, TrainConfig};
+use automc_models::{resnet, serialize, ConvNet};
+use automc_tensor::{par, rng_from_seed};
+use std::sync::{Mutex, OnceLock};
+
+/// The memo store, byte budget, and spill directory are process-global;
+/// serialize the tests in this file so they cannot evict or clear each
+/// other's entries mid-assertion.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+struct Fixture {
+    base: ConvNet,
+    base_metrics: Metrics,
+    train_set: ImageSet,
+    eval_set: ImageSet,
+    space: StrategySpace,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = rng_from_seed(8101);
+        let (train_set, eval_set) = DatasetSpec {
+            train: 60,
+            test: 40,
+            noise: 0.25,
+            ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+        }
+        .generate();
+        let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+        train(
+            &mut base,
+            &train_set,
+            &TrainConfig { epochs: 1.0, ..Default::default() },
+            Auxiliary::None,
+            &mut rng,
+        );
+        let mut probe = base.clone_net();
+        let base_metrics = Metrics::measure(&mut probe, &eval_set);
+        let space = StrategySpace::for_methods(&[MethodId::Ns, MethodId::Sfp]);
+        Fixture { base, base_metrics, train_set, eval_set, space }
+    })
+}
+
+fn cfg() -> ExecConfig {
+    ExecConfig { pretrain_epochs: 1.0, eval_seed: 4242, ..Default::default() }
+}
+
+fn run(fx: &Fixture, scheme: &Scheme, exec: &ExecConfig) -> EvalOutcome {
+    execute_scheme_checked(
+        &fx.base,
+        &fx.base_metrics,
+        scheme,
+        &fx.space,
+        &fx.train_set,
+        &fx.eval_set,
+        exec,
+    )
+}
+
+/// Everything an evaluation produces, bit-exactly: final model bytes,
+/// metrics, per-step records, and cumulative cost.
+fn digest(result: &EvalOutcome) -> Vec<u64> {
+    let mut d = Vec::new();
+    match result {
+        EvalOutcome::Ok { model, outcome } => {
+            d.push(0);
+            d.push(outcome.metrics.acc.to_bits() as u64);
+            d.push(outcome.metrics.params as u64);
+            d.push(outcome.metrics.flops);
+            d.push(outcome.pr.to_bits() as u64);
+            d.push(outcome.fr.to_bits() as u64);
+            d.push(outcome.ar.to_bits() as u64);
+            d.push(outcome.cost.trained_images);
+            d.push(outcome.cost.eval_images);
+            for s in &outcome.steps {
+                d.push(s.strategy as u64);
+                d.push(s.ar_step.to_bits() as u64);
+                d.push(s.pr_step.to_bits() as u64);
+                d.push(s.after.acc.to_bits() as u64);
+                d.push(s.after.params as u64);
+                d.push(s.cost.trained_images);
+                d.push(s.cost.eval_images);
+            }
+            let bytes = serialize::model_to_bytes(model);
+            d.push(bytes.len() as u64);
+            // FNV over the model bytes stands in for the full byte dump.
+            let mut h = 0xcbf29ce484222325u64;
+            for &b in &bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            d.push(h);
+        }
+        EvalOutcome::Diverged { step, cost } => {
+            d.extend([1, *step as u64, cost.trained_images, cost.eval_images]);
+        }
+        EvalOutcome::Panicked { step, cost, .. } => {
+            d.extend([2, *step as u64, cost.trained_images, cost.eval_images]);
+        }
+        EvalOutcome::TimedOut { step, cost } => {
+            d.extend([3, *step as u64, cost.trained_images, cost.eval_images]);
+        }
+    }
+    d
+}
+
+/// Pick one strategy id per (method, index) so schemes A and B share a
+/// two-step prefix and differ in the last step.
+fn schemes(space: &StrategySpace) -> (Scheme, Scheme) {
+    let of = |m: MethodId, nth: usize| {
+        space
+            .iter()
+            .filter(|(_, s)| s.method() == m)
+            .nth(nth)
+            .expect("strategy space too small for the fixture")
+            .0
+    };
+    let a = vec![of(MethodId::Ns, 0), of(MethodId::Sfp, 0), of(MethodId::Ns, 1)];
+    let b = vec![of(MethodId::Ns, 0), of(MethodId::Sfp, 0), of(MethodId::Sfp, 1)];
+    (a, b)
+}
+
+#[test]
+fn cold_warm_sibling_and_spill_hits_are_bitwise_identical_at_any_thread_count() {
+    let _g = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let fx = fixture();
+    let exec = cfg();
+    let (scheme_a, scheme_b) = schemes(&fx.space);
+
+    // References with memoization off.
+    memo::set_enabled_for_thread(Some(false));
+    let ref_a = digest(&run(fx, &scheme_a, &exec));
+    let ref_b = digest(&run(fx, &scheme_b, &exec));
+    assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)), "executor must be deterministic");
+
+    // Cold miss, then a full warm hit, then a sibling sharing depth 2.
+    let spill = std::env::temp_dir().join(format!("automc-memo-test-{}", std::process::id()));
+    memo::set_enabled_for_thread(Some(true));
+    memo::set_spill_dir(Some(spill.clone()));
+    memo::clear();
+    let before = memo::stats();
+    assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)), "cold run diverged");
+    let cold = memo::stats().since(&before);
+    assert!(cold.inserts >= scheme_a.len() as u64, "every prefix depth is cached");
+
+    let before = memo::stats();
+    assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)), "warm run diverged");
+    let warm = memo::stats().since(&before);
+    assert!(warm.full_hits >= 1, "second run must be a full hit");
+    assert!(warm.steps_avoided >= scheme_a.len() as u64);
+
+    let before = memo::stats();
+    assert_eq!(ref_b, digest(&run(fx, &scheme_b, &exec)), "sibling-prefix run diverged");
+    let sib = memo::stats().since(&before);
+    assert!(sib.prefix_hits >= 1, "sibling must reuse the shared prefix");
+    assert!(sib.steps_avoided >= 2, "two shared steps must be skipped");
+
+    // Thread-count invariance: warm and cold, 1 and 4 threads.
+    for threads in [1usize, 4] {
+        par::with_threads(threads, || {
+            assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)), "warm @{threads} threads");
+            memo::clear();
+            assert_eq!(ref_b, digest(&run(fx, &scheme_b, &exec)), "cold @{threads} threads");
+        });
+    }
+
+    // Spill store: wipe memory, the entries written above must still hit.
+    memo::clear();
+    let before = memo::stats();
+    assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)), "spill-served run diverged");
+    let spilled = memo::stats().since(&before);
+    assert!(spilled.spill_hits >= 1, "hit must come from the spill store");
+
+    memo::set_spill_dir(None);
+    memo::set_enabled_for_thread(None);
+    let _ = std::fs::remove_dir_all(&spill);
+}
+
+#[test]
+fn results_survive_lru_eviction_under_a_tiny_byte_budget() {
+    let _g = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let fx = fixture();
+    let exec = cfg();
+    let (scheme_a, scheme_b) = schemes(&fx.space);
+
+    memo::set_enabled_for_thread(Some(false));
+    let ref_a = digest(&run(fx, &scheme_a, &exec));
+    let ref_b = digest(&run(fx, &scheme_b, &exec));
+
+    // A budget smaller than one model snapshot: every insert immediately
+    // evicts, so lookups mostly miss — results must not change.
+    memo::set_enabled_for_thread(Some(true));
+    memo::clear();
+    let evicted_before = memo::evictions();
+    memo::set_byte_budget(1024);
+    assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)));
+    assert_eq!(ref_b, digest(&run(fx, &scheme_b, &exec)));
+    assert_eq!(ref_a, digest(&run(fx, &scheme_a, &exec)));
+    assert!(
+        memo::evictions() > evicted_before,
+        "the tiny budget must actually force evictions"
+    );
+
+    memo::set_byte_budget(memo::DEFAULT_BYTE_BUDGET);
+    memo::clear();
+    memo::set_enabled_for_thread(None);
+}

@@ -113,7 +113,7 @@ pub fn evolution_search_journaled(
 ) -> SearchHistory {
     let mut words = ctx.fingerprint_words().to_vec();
     words.extend([cfg.population as u64, cfg.mutation_rate.to_bits() as u64]);
-    let fingerprint = journal::fingerprint("AutoMC-evolution-v1", &words, rng.state());
+    let fingerprint = journal::fingerprint("AutoMC-evolution-v2", &words, rng.state());
     let loaded = if opts.resume {
         opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
     } else {
@@ -155,7 +155,12 @@ pub fn evolution_search_journaled(
     // Supervised evaluation: a panicking or diverging scheme is logged as
     // infeasible (charged at least one evaluation's budget) and produces
     // no individual — the population only ever holds viable schemes.
-    let evaluate = |scheme: Scheme, spent: &mut u64, history: &mut SearchHistory, rng: &mut Rng| -> Option<Individual> {
+    let evaluate = |scheme: Scheme,
+                    spent: &mut u64,
+                    history: &mut SearchHistory,
+                    journal_to: Option<&std::path::Path>|
+     -> Option<Individual> {
+        journal::record_eval_intent(journal_to, fingerprint);
         let result = automc_compress::execute_scheme_checked(
             ctx.base_model,
             &ctx.base_metrics,
@@ -164,7 +169,6 @@ pub fn evolution_search_journaled(
             ctx.search_train,
             ctx.eval_set,
             &ctx.exec,
-            rng,
         );
         *spent += result.charged_units((ctx.eval_set.len() as u64).max(1));
         match result {
@@ -182,6 +186,10 @@ pub fn evolution_search_journaled(
                 history.push_failure(scheme, EvalStatus::Panicked(msg), *spent);
                 None
             }
+            EvalOutcome::TimedOut { .. } => {
+                history.push_failure(scheme, EvalStatus::TimedOut, *spent);
+                None
+            }
         }
     };
 
@@ -190,7 +198,7 @@ pub fn evolution_search_journaled(
     while population.len() < cfg.population && spent < ctx.budget.units {
         let len = rng.gen_range(1..=ctx.max_len);
         let scheme: Scheme = (0..len).map(|_| rng.gen_range(0..ctx.space.len())).collect();
-        population.extend(evaluate(scheme, &mut spent, &mut history, rng));
+        population.extend(evaluate(scheme, &mut spent, &mut history, journal_to));
         round += 1;
         journal::checkpoint_round(
             &mut journal_to,
@@ -246,7 +254,7 @@ pub fn evolution_search_journaled(
             child.push(rng.gen_range(0..ctx.space.len()));
         }
         // Evaluate and insert; truncate by (rank, crowding).
-        let evaluated = evaluate(child, &mut spent, &mut history, rng);
+        let evaluated = evaluate(child, &mut spent, &mut history, journal_to);
         round += 1;
         if let Some(ind) = evaluated {
             population.push(ind);

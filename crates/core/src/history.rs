@@ -19,6 +19,9 @@ pub enum EvalStatus {
     /// A panic was caught during evaluation; the message is kept for
     /// diagnosis.
     Panicked(String),
+    /// The evaluation exhausted its cooperative training-step budget
+    /// (`max_train_steps`) and was abandoned instead of hanging.
+    TimedOut,
 }
 
 impl EvalStatus {
@@ -32,6 +35,7 @@ impl EvalStatus {
             EvalStatus::Ok => Value::Str("ok".into()),
             EvalStatus::Diverged => Value::Str("diverged".into()),
             EvalStatus::Panicked(msg) => Value::Str(format!("panicked:{msg}")),
+            EvalStatus::TimedOut => Value::Str("timed_out".into()),
         }
     }
 
@@ -42,6 +46,7 @@ impl EvalStatus {
         Some(match s.as_str() {
             "ok" => EvalStatus::Ok,
             "diverged" => EvalStatus::Diverged,
+            "timed_out" => EvalStatus::TimedOut,
             other => EvalStatus::Panicked(
                 other.strip_prefix("panicked:").unwrap_or(other).to_string(),
             ),
@@ -298,14 +303,16 @@ mod tests {
         h.records.push(rec(0.4, 0.02, 0.82, 7));
         h.push_failure(vec![3, 1], EvalStatus::Panicked("boom: at step".into()), 9);
         h.push_failure(vec![2], EvalStatus::Diverged, 12);
+        h.push_failure(vec![4], EvalStatus::TimedOut, 15);
         let text = h.to_json().to_string_pretty();
         let back = SearchHistory::from_json(&automc_json::parse(&text).unwrap()).unwrap();
         assert_eq!(back.algorithm, "roundtrip");
-        assert_eq!(back.records.len(), 3);
+        assert_eq!(back.records.len(), 4);
         assert_eq!(back.records[0].cost_so_far, 7);
         assert_eq!(back.records[1].status, EvalStatus::Panicked("boom: at step".into()));
         assert_eq!(back.records[2].status, EvalStatus::Diverged);
-        assert_eq!(back.failed_count(), 2);
+        assert_eq!(back.records[3].status, EvalStatus::TimedOut);
+        assert_eq!(back.failed_count(), 3);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! checkpoint.
 
 use crate::history::SearchHistory;
-use automc_compress::{Metrics, Scheme, StrategyId};
+use automc_compress::{EvalCost, Metrics, Scheme, StrategyId};
 use automc_json::{field, obj, ToJson, Value};
 use automc_tensor::{fault, Rng};
 use std::fs;
@@ -129,11 +129,18 @@ pub fn write_atomic_retry(path: &Path, bytes: &[u8]) -> io::Result<()> {
 // Checksummed envelopes
 // ------------------------------------------------------------------------
 
-/// Wrap `payload` in a `{checksum, payload}` envelope and write it
-/// atomically with retry. Shared by the search journal and the harness's
-/// grid checkpoints.
+/// Version of the checksummed-envelope schema. Bump it whenever the
+/// envelope or payload format changes incompatibly; readers treat a
+/// different version as "from another era, start fresh" rather than as
+/// corruption. Envelopes written before the field existed read as v1.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Wrap `payload` in a `{schema, checksum, payload}` envelope and write
+/// it atomically with retry. Shared by the search journal, pre-eval
+/// intent records, and the harness's grid checkpoints.
 pub fn save_checksummed(path: &Path, payload: &str) -> io::Result<()> {
     let envelope = obj(vec![
+        ("schema", SCHEMA_VERSION.to_json()),
         (
             "checksum",
             Value::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
@@ -143,9 +150,10 @@ pub fn save_checksummed(path: &Path, payload: &str) -> io::Result<()> {
     write_atomic_retry(path, envelope.to_string_pretty().as_bytes())
 }
 
-/// Read a [`save_checksummed`] envelope back, validating the checksum.
-/// `None` on a missing file (silent — the normal fresh-run case) or on
-/// corruption (logged).
+/// Read a [`save_checksummed`] envelope back, validating the schema
+/// version and the checksum. `None` on a missing file (silent — the
+/// normal fresh-run case), on a schema from a different era (logged as
+/// such), or on corruption (logged).
 pub fn load_checksummed(path: &Path) -> Option<String> {
     let text = match fs::read_to_string(path) {
         Ok(t) => t,
@@ -165,6 +173,18 @@ pub fn load_checksummed(path: &Path) -> Option<String> {
         invalid();
         return None;
     };
+    // Schema drift is not corruption: say so and start fresh.
+    if let Some(schema) = envelope.get("schema").and_then(|s| s.as_f64()) {
+        let schema = schema as u64;
+        if schema != SCHEMA_VERSION {
+            eprintln!(
+                "warning: journal {} uses schema v{schema} \
+                 (this build writes v{SCHEMA_VERSION}); starting fresh",
+                path.display()
+            );
+            return None;
+        }
+    }
     let (Some(checksum), Some(payload)) = (
         envelope
             .get("checksum")
@@ -180,6 +200,88 @@ pub fn load_checksummed(path: &Path) -> Option<String> {
         return None;
     }
     Some(payload.to_string())
+}
+
+// ------------------------------------------------------------------------
+// Pre-eval intent records
+// ------------------------------------------------------------------------
+
+/// The sibling file holding a journal's pre-eval intent record.
+pub fn intent_path(journal: &Path) -> PathBuf {
+    let mut p = journal.as_os_str().to_owned();
+    p.push(".intent");
+    PathBuf::from(p)
+}
+
+/// Journal the *intent* to begin one supervised evaluation, before its
+/// `eval` fault tick fires.
+///
+/// An `exit@eval:N` fault kills the process at the tick itself, so the
+/// round journal — written only at round boundaries — still holds the
+/// pre-eval counters. Restoring those re-arms the same ordinal and the
+/// resumed run is killed again, forever. The intent record captures the
+/// counters *as they will read after the tick* ("eval" bumped by one);
+/// [`load`] max-merges it into the journal's counters so a fault that
+/// already fired never re-arms.
+///
+/// Only written while a fault plan is active (no per-eval I/O otherwise)
+/// and journaling is enabled; write errors are logged and ignored — an
+/// intent record is an optimisation of resume, not required state.
+pub fn record_eval_intent(journal_to: Option<&Path>, fingerprint: u64) {
+    if !fault::plan_active() {
+        return;
+    }
+    let Some(path) = journal_to else { return };
+    let mut counters = fault::counters();
+    match counters.iter_mut().find(|(site, _)| site == "eval") {
+        Some((_, n)) => *n += 1,
+        None => counters.push(("eval".to_string(), 1)),
+    }
+    counters.sort();
+    let payload = obj(vec![
+        ("fingerprint", Value::Str(format!("{fingerprint:016x}"))),
+        ("fault_counters", counters.to_json()),
+    ])
+    .to_string_pretty();
+    let ip = intent_path(path);
+    if let Err(e) = save_checksummed(&ip, &payload) {
+        eprintln!("warning: cannot write intent record {}: {e}", ip.display());
+    }
+}
+
+/// Max-merge a matching intent record into restored fault counters.
+///
+/// Called automatically by [`load`]; checkpoint mechanisms that bypass
+/// [`load`] (the bench method-grid) call it directly after restoring
+/// their own counters.
+pub fn merge_eval_intent(path: &Path, fingerprint: u64, counters: &mut Vec<(String, u64)>) {
+    let ip = intent_path(path);
+    let Some(payload) = load_checksummed(&ip) else { return };
+    let Ok(v) = automc_json::parse(&payload) else { return };
+    let Some(fp) = v
+        .get("fingerprint")
+        .and_then(|f| f.as_str())
+        .and_then(|f| u64::from_str_radix(f, 16).ok())
+    else {
+        return;
+    };
+    if fp != fingerprint {
+        return;
+    }
+    let Some(intent) = field::<Vec<(String, u64)>>(&v, "fault_counters") else {
+        return;
+    };
+    for (site, n) in intent {
+        match counters.iter_mut().find(|(s, _)| *s == site) {
+            Some((_, cur)) => *cur = (*cur).max(n),
+            None => counters.push((site, n)),
+        }
+    }
+    counters.sort();
+    eprintln!(
+        "[journal] merged pre-eval intent record for {}",
+        path.display()
+    );
 }
 
 // ------------------------------------------------------------------------
@@ -278,6 +380,10 @@ pub struct NodeSnapshot {
     pub scheme: Scheme,
     /// Measured metrics of the node's model.
     pub metrics: Metrics,
+    /// Cumulative evaluation cost of producing this node from the base
+    /// model (used for marginal budget charging when the node is
+    /// extended). Journals written before the field default to zero.
+    pub cost: EvalCost,
     /// Strategies already tried as one-step extensions (sorted).
     pub explored: Vec<StrategyId>,
     /// `automc_models::serialize::model_to_bytes` of the node's model.
@@ -293,6 +399,8 @@ impl NodeSnapshot {
             ("acc", self.metrics.acc.to_json()),
             ("params", self.metrics.params.to_json()),
             ("flops", self.metrics.flops.to_json()),
+            ("cost_trained", self.cost.trained_images.to_json()),
+            ("cost_eval", self.cost.eval_images.to_json()),
             ("explored", self.explored.to_json()),
             ("model_blob", Value::Str(format!("{hash:016x}"))),
         ])
@@ -315,6 +423,10 @@ impl NodeSnapshot {
                 acc: field(v, "acc")?,
                 params: field(v, "params")?,
                 flops: field(v, "flops")?,
+            },
+            cost: EvalCost {
+                trained_images: field(v, "cost_trained").unwrap_or(0),
+                eval_images: field(v, "cost_eval").unwrap_or(0),
             },
             explored: field(v, "explored")?,
             model,
@@ -445,7 +557,7 @@ pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
             path.display()
         );
     };
-    let journal = match automc_json::parse(&payload)
+    let mut journal = match automc_json::parse(&payload)
         .ok()
         .and_then(|v| SearchJournal::from_json_with_blobs(&v, &blob_dir(path)))
     {
@@ -464,6 +576,7 @@ pub fn load(path: &Path, fingerprint: u64) -> Option<SearchJournal> {
         );
         return None;
     }
+    merge_eval_intent(path, fingerprint, &mut journal.fault_counters);
     Some(journal)
 }
 
@@ -509,6 +622,7 @@ pub fn checkpoint_round(
 /// is merely re-validated and discarded on the next run.
 pub fn discard(path: &Path) {
     let _ = fs::remove_file(path);
+    let _ = fs::remove_file(intent_path(path));
     let _ = fs::remove_dir_all(blob_dir(path));
 }
 
@@ -538,6 +652,7 @@ mod tests {
             nodes: vec![NodeSnapshot {
                 scheme: vec![7],
                 metrics: Metrics { acc: 0.875, params: 999, flops: 123_456 },
+                cost: EvalCost { trained_images: 11, eval_images: 22 },
                 explored: vec![0, 7, 12],
                 model: vec![9, 8, 7],
             }],
@@ -578,6 +693,10 @@ mod tests {
         assert_eq!(back.nodes.len(), 1);
         assert_eq!(back.nodes[0].scheme, vec![7]);
         assert_eq!(back.nodes[0].metrics.acc.to_bits(), 0.875f32.to_bits());
+        assert_eq!(
+            back.nodes[0].cost,
+            EvalCost { trained_images: 11, eval_images: 22 }
+        );
         assert_eq!(back.nodes[0].explored, vec![0, 7, 12]);
         assert_eq!(back.nodes[0].model, vec![9, 8, 7]);
         discard(&path);
@@ -618,6 +737,7 @@ mod tests {
         j.nodes.push(NodeSnapshot {
             scheme: vec![1, 2],
             metrics: Metrics { acc: 0.5, params: 10, flops: 20 },
+            cost: EvalCost::default(),
             explored: vec![],
             model: vec![9, 8, 7], // same bytes as node 0 → same blob
         });
@@ -630,6 +750,7 @@ mod tests {
         j.nodes.push(NodeSnapshot {
             scheme: vec![3],
             metrics: Metrics { acc: 0.6, params: 11, flops: 21 },
+            cost: EvalCost::default(),
             explored: vec![],
             model: vec![1, 1, 2, 3, 5, 8],
         });
@@ -699,8 +820,96 @@ mod tests {
         let back = load(&path, j.fingerprint).expect("legacy journal loads");
         assert_eq!(back.state, j.state);
         assert_eq!(back.nodes[0].model, j.nodes[0].model);
+        assert_eq!(
+            back.nodes[0].cost,
+            EvalCost::default(),
+            "pre-cost journals default to zero"
+        );
         assert!(back.fault_counters.is_empty(), "legacy journals have no counters");
         discard(&path);
+    }
+
+    #[test]
+    fn foreign_schema_versions_start_fresh() {
+        let path = temp_path("schema");
+        let payload = "{}";
+        // Hand-build an envelope claiming a future schema; the checksum is
+        // valid, so rejection must come from the version check alone.
+        let envelope = obj(vec![
+            ("schema", 99u64.to_json()),
+            (
+                "checksum",
+                Value::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+            ),
+            ("payload", Value::Str(payload.to_string())),
+        ]);
+        fs::write(&path, envelope.to_string_pretty()).unwrap();
+        assert!(
+            load_checksummed(&path).is_none(),
+            "a foreign schema version must not be trusted"
+        );
+        // The version this build writes round-trips.
+        save_checksummed(&path, payload).unwrap();
+        assert_eq!(load_checksummed(&path).as_deref(), Some(payload));
+        // Envelopes that predate the field (v1) still load.
+        let envelope = obj(vec![
+            (
+                "checksum",
+                Value::Str(format!("{:016x}", fnv1a64(payload.as_bytes()))),
+            ),
+            ("payload", Value::Str(payload.to_string())),
+        ]);
+        fs::write(&path, envelope.to_string_pretty()).unwrap();
+        assert_eq!(load_checksummed(&path).as_deref(), Some(payload));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn intent_record_max_merges_into_restored_counters() {
+        use automc_tensor::fault::{self, FaultPlan};
+        let path = temp_path("intent");
+        let j = sample_journal(); // journals eval=5, train=17
+        save(&path, &j).unwrap();
+
+        // No plan active → no intent is written.
+        record_eval_intent(Some(&path), j.fingerprint);
+        assert!(!intent_path(&path).exists());
+
+        // With a plan and live counters ahead of the journal, the intent
+        // captures them with "eval" bumped by one (the tick about to
+        // fire).
+        fault::install(FaultPlan::parse("exit@eval:9").unwrap());
+        fault::restore_counters(&[("eval".into(), 6), ("train".into(), 17)]);
+        record_eval_intent(Some(&path), j.fingerprint);
+        fault::clear();
+        assert!(intent_path(&path).exists());
+
+        let back = load(&path, j.fingerprint).expect("journal loads");
+        let get = |site: &str| {
+            back.fault_counters
+                .iter()
+                .find(|(s, _)| s == site)
+                .map(|(_, n)| *n)
+        };
+        assert_eq!(get("eval"), Some(7), "journal eval=5 max intent eval=6+1");
+        assert_eq!(get("train"), Some(17));
+
+        // An intent for a different run is ignored.
+        record_eval_intent(Some(&path), j.fingerprint); // rewrite with no plan: no-op
+        fault::install(FaultPlan::parse("exit@eval:9").unwrap());
+        record_eval_intent(Some(&path), j.fingerprint ^ 1);
+        fault::clear();
+        let back = load(&path, j.fingerprint).expect("journal loads");
+        assert_eq!(
+            back.fault_counters
+                .iter()
+                .find(|(s, _)| s == "eval")
+                .map(|(_, n)| *n),
+            Some(5),
+            "mismatched-fingerprint intents must not merge"
+        );
+        discard(&path);
+        assert!(!intent_path(&path).exists(), "discard removes the intent");
     }
 
     #[test]

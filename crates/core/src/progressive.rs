@@ -14,15 +14,15 @@ use crate::fmo::{Fmo, StepSample};
 use crate::history::{EvalRecord, EvalStatus, SearchHistory};
 use crate::journal::{self, JournalOptions, NodeSnapshot, SearchJournal};
 use crate::pareto;
-use automc_compress::{apply_strategy, Metrics, Scheme, StrategyId};
+use automc_compress::{
+    execute_scheme_checked, EvalCost, EvalOutcome, Metrics, Scheme, StrategyId,
+};
 use automc_models::serialize;
-use automc_models::train::divergence;
 use automc_models::ConvNet;
-use automc_tensor::fault::{self, FaultKind};
+use automc_tensor::fault;
 use automc_tensor::Rng;
 use rand::seq::SliceRandom;
 use std::collections::HashSet;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Knobs of the progressive search.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +53,9 @@ struct Node {
     scheme: Scheme,
     model: ConvNet,
     metrics: Metrics,
+    /// Cumulative execution cost of the scheme from the base model;
+    /// one-step extensions are charged their *marginal* cost over this.
+    cost: EvalCost,
     explored: HashSet<StrategyId>,
 }
 
@@ -67,7 +70,7 @@ fn run_fingerprint(
     rng_state: [u64; 4],
 ) -> u64 {
     let mut buf: Vec<u8> = Vec::new();
-    buf.extend_from_slice(b"AutoMC-progressive-v1");
+    buf.extend_from_slice(b"AutoMC-progressive-v2");
     for w in [
         ctx.space.len() as u64,
         ctx.budget.units,
@@ -105,6 +108,7 @@ fn decode_nodes(snapshots: Vec<NodeSnapshot>) -> Option<Vec<Node>> {
             scheme: snap.scheme,
             model,
             metrics: snap.metrics,
+            cost: snap.cost,
             explored: snap.explored.into_iter().collect(),
         });
     }
@@ -136,6 +140,7 @@ fn snapshot_run(
                 NodeSnapshot {
                     scheme: n.scheme.clone(),
                     metrics: n.metrics,
+                    cost: n.cost,
                     explored,
                     model: serialize::model_to_bytes(&n.model),
                 }
@@ -165,11 +170,12 @@ pub fn progressive_search(
 /// [`progressive_search`] with supervised candidate evaluations and a
 /// crash-safe round journal.
 ///
-/// Every candidate evaluation runs under `catch_unwind` with divergence
-/// detection: a panicking or diverging evaluation is recorded in the
-/// history as an infeasible [`EvalStatus`] failure (still charged at
-/// least one evaluation's budget, so failures cannot stall the search)
-/// and the round continues with the surviving candidates.
+/// Every candidate evaluation goes through the supervised
+/// [`execute_scheme_checked`] executor: a panicking, diverging, or
+/// timed-out evaluation is recorded in the history as an infeasible
+/// [`EvalStatus`] failure (still charged at least one evaluation's
+/// budget, so failures cannot stall the search) and the round continues
+/// with the surviving candidates.
 ///
 /// With `opts.path` set, the complete resumable state is journaled after
 /// every round with atomic writes; with `opts.resume`, a valid journal is
@@ -202,6 +208,7 @@ pub fn progressive_search_journaled(
         scheme: Vec::new(),
         model: ctx.base_model.clone_net(),
         metrics: ctx.base_metrics,
+        cost: EvalCost::default(),
         explored: HashSet::new(),
     }];
     let mut spent = 0u64;
@@ -305,61 +312,53 @@ pub fn progressive_search_journaled(
         chosen.truncate(cfg.evals_per_round);
 
         // ---- Evaluate the chosen extensions for real, supervised. ------
-        // Each evaluation runs under `catch_unwind` with divergence
-        // detection; a failed candidate becomes an infeasible history
-        // record and the round carries on.
+        // Each candidate re-executes its *full* scheme through the
+        // supervised executor; the shared prefix cache serves the node's
+        // already-evaluated prefix, so the extension costs a single
+        // strategy application. A failed candidate becomes an infeasible
+        // history record and the round carries on.
         for &ti in &chosen {
             if spent >= ctx.budget.units {
                 break;
             }
             let (ni, cand, _, _) = tuples[ti];
             let prev_metrics = nodes[ni].metrics;
-            let mut model = nodes[ni].model.clone_net();
-            let injected = fault::tick("eval");
-            divergence::reset();
-            let attempt = {
-                let model_ref = &mut model;
-                let rng_ref = &mut *rng;
-                catch_unwind(AssertUnwindSafe(move || {
-                    if injected == Some(FaultKind::Panic) {
-                        panic!("{}", fault::INJECTED_PANIC_MSG);
-                    }
-                    let cost = apply_strategy(
-                        ctx.space.spec(cand),
-                        model_ref,
-                        ctx.search_train,
-                        &ctx.exec,
-                        rng_ref,
-                    );
-                    let metrics = Metrics::measure(model_ref, ctx.eval_set);
-                    (cost, metrics)
-                }))
-            };
             nodes[ni].explored.insert(cand);
             let mut scheme = nodes[ni].scheme.clone();
             scheme.push(cand);
 
-            let (cost, metrics) = match attempt {
-                Ok(result) => result,
-                Err(payload) => {
-                    divergence::reset();
-                    // The aborted evaluation's true cost is unknowable;
-                    // charge one evaluation pass as a floor so repeated
-                    // failures still drain the budget.
-                    spent += (ctx.eval_set.len() as u64).max(1);
-                    history.push_failure(
-                        scheme,
-                        EvalStatus::Panicked(fault::payload_message(payload.as_ref())),
-                        spent,
-                    );
+            journal::record_eval_intent(journal_to, fingerprint);
+            let result = execute_scheme_checked(
+                ctx.base_model,
+                &ctx.base_metrics,
+                &scheme,
+                ctx.space,
+                ctx.search_train,
+                ctx.eval_set,
+                &ctx.exec,
+            );
+            // Charge the *marginal* cost over the node's cached prefix,
+            // floored at one evaluation pass so a candidate that fails
+            // instantly still drains the budget.
+            let marginal =
+                result.cost().units().saturating_sub(nodes[ni].cost.units());
+            spent += marginal.max((ctx.eval_set.len() as u64).max(1));
+            let (model, outcome) = match result {
+                EvalOutcome::Ok { model, outcome } => (model, outcome),
+                EvalOutcome::Diverged { .. } => {
+                    history.push_failure(scheme, EvalStatus::Diverged, spent);
+                    continue;
+                }
+                EvalOutcome::Panicked { msg, .. } => {
+                    history.push_failure(scheme, EvalStatus::Panicked(msg), spent);
+                    continue;
+                }
+                EvalOutcome::TimedOut { .. } => {
+                    history.push_failure(scheme, EvalStatus::TimedOut, spent);
                     continue;
                 }
             };
-            spent += cost.units() + ctx.eval_set.len() as u64;
-            if divergence::take() || !metrics.acc.is_finite() {
-                history.push_failure(scheme, EvalStatus::Diverged, spent);
-                continue;
-            }
+            let metrics = outcome.metrics;
 
             // Observe the step for F_mo (Eq. 5 training data).
             fmo.observe(StepSample {
@@ -375,16 +374,22 @@ pub fn progressive_search_journaled(
             // Record against the base model.
             history.records.push(EvalRecord {
                 scheme: scheme.clone(),
-                pr: metrics.pr(&ctx.base_metrics),
-                fr: metrics.fr(&ctx.base_metrics),
-                ar: metrics.ar(&ctx.base_metrics),
+                pr: outcome.pr,
+                fr: outcome.fr,
+                ar: outcome.ar,
                 acc: metrics.acc,
                 params: metrics.params,
                 flops: metrics.flops,
                 cost_so_far: spent,
                 status: EvalStatus::Ok,
             });
-            nodes.push(Node { scheme, model, metrics, explored: HashSet::new() });
+            nodes.push(Node {
+                scheme,
+                model,
+                metrics,
+                cost: outcome.cost,
+                explored: HashSet::new(),
+            });
         }
 
         // ---- Retrain F_mo on everything observed so far (Eq. 5). -------

@@ -32,7 +32,7 @@ pub fn random_search_journaled(
     opts: &JournalOptions,
 ) -> SearchHistory {
     let fingerprint =
-        journal::fingerprint("AutoMC-random-v1", &ctx.fingerprint_words(), rng.state());
+        journal::fingerprint("AutoMC-random-v2", &ctx.fingerprint_words(), rng.state());
     let loaded = if opts.resume {
         opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
     } else {
@@ -68,6 +68,7 @@ pub fn random_search_journaled(
     while spent < ctx.budget.units {
         let len = rng.gen_range(1..=ctx.max_len);
         let scheme: Scheme = (0..len).map(|_| rng.gen_range(0..ctx.space.len())).collect();
+        journal::record_eval_intent(journal_to, fingerprint);
         let result = execute_scheme_checked(
             ctx.base_model,
             &ctx.base_metrics,
@@ -76,7 +77,6 @@ pub fn random_search_journaled(
             ctx.search_train,
             ctx.eval_set,
             &ctx.exec,
-            rng,
         );
         spent += result.charged_units(floor);
         match result {
@@ -88,6 +88,9 @@ pub fn random_search_journaled(
             }
             EvalOutcome::Panicked { msg, .. } => {
                 history.push_failure(scheme, EvalStatus::Panicked(msg), spent);
+            }
+            EvalOutcome::TimedOut { .. } => {
+                history.push_failure(scheme, EvalStatus::TimedOut, spent);
             }
         }
         round += 1;

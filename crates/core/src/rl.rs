@@ -227,7 +227,7 @@ pub fn rl_search_journaled(
         cfg.lr.to_bits() as u64,
         cfg.baseline_decay.to_bits() as u64,
     ]);
-    let fingerprint = journal::fingerprint("AutoMC-rl-v1", &words, rng.state());
+    let fingerprint = journal::fingerprint("AutoMC-rl-v2", &words, rng.state());
     let loaded = if opts.resume {
         opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
     } else {
@@ -328,6 +328,7 @@ pub fn rl_search_journaled(
         // A failed episode is logged as infeasible, charged a budget
         // floor, and yields no REINFORCE update: there is no trustworthy
         // reward to learn from.
+        journal::record_eval_intent(journal_to, fingerprint);
         let result = automc_compress::execute_scheme_checked(
             ctx.base_model,
             &ctx.base_metrics,
@@ -336,7 +337,6 @@ pub fn rl_search_journaled(
             ctx.search_train,
             ctx.eval_set,
             &ctx.exec,
-            rng,
         );
         spent += result.charged_units((ctx.eval_set.len() as u64).max(1));
         let outcome = match result {
@@ -347,6 +347,10 @@ pub fn rl_search_journaled(
             }
             EvalOutcome::Panicked { msg, .. } => {
                 history.push_failure(scheme.clone(), EvalStatus::Panicked(msg), spent);
+                None
+            }
+            EvalOutcome::TimedOut { .. } => {
+                history.push_failure(scheme.clone(), EvalStatus::TimedOut, spent);
                 None
             }
         };

@@ -4,10 +4,12 @@
 use automc_compress::{execute_scheme, ExecConfig, Metrics, Scheme, SchemeOutcome, StrategySpace};
 use automc_data::ImageSet;
 use automc_models::ConvNet;
-use automc_tensor::Rng;
 
 /// Apply a searched scheme to a new (pre-trained) target model and report
-/// its metrics on that model.
+/// its metrics on that model. Randomness derives from `exec.eval_seed`
+/// and the scheme itself, and the execution shares the cross-search
+/// prefix-model cache — transferring several schemes with a common prefix
+/// to the same target retrains only the differing suffixes.
 #[allow(clippy::too_many_arguments)]
 pub fn transfer_scheme(
     scheme: &Scheme,
@@ -17,7 +19,6 @@ pub fn transfer_scheme(
     train_set: &ImageSet,
     eval_set: &ImageSet,
     exec: &ExecConfig,
-    rng: &mut Rng,
 ) -> SchemeOutcome {
     let (_, outcome) = execute_scheme(
         target_model,
@@ -27,7 +28,6 @@ pub fn transfer_scheme(
         train_set,
         eval_set,
         exec,
-        rng,
     );
     outcome
 }
@@ -65,7 +65,7 @@ mod tests {
         let base = Metrics::measure(&mut target, &eval_set);
         let exec = ExecConfig { pretrain_epochs: 2.0, ..Default::default() };
         let outcome =
-            transfer_scheme(&scheme, &target, &base, &space, &train_set, &eval_set, &exec, &mut rng);
+            transfer_scheme(&scheme, &target, &base, &space, &train_set, &eval_set, &exec);
         assert!(outcome.pr > 0.05, "transferred scheme should still prune: {}", outcome.pr);
         assert!(outcome.metrics.acc > 0.0);
     }

@@ -41,6 +41,80 @@ pub mod divergence {
     }
 }
 
+pub mod step_budget {
+    //! Thread-local cooperative training-step budget.
+    //!
+    //! A hung evaluation (an infinite loop rather than a panic or NaN)
+    //! cannot be caught by `catch_unwind` or the divergence latch; the
+    //! only portable supervision is cooperative. Supervisors [`arm`] a
+    //! per-evaluation batch cap before executing a candidate scheme;
+    //! [`train`](super::train) consults [`register_batch`] before every
+    //! mini-batch and bails out once the cap is reached, setting the
+    //! exhausted latch for the supervisor to [`take_exhausted`]. Like the
+    //! [`divergence`](super::divergence) latch it is thread-local:
+    //! candidate evaluations always train on the thread that submitted
+    //! them.
+    //!
+    //! The consumed-batch counter also runs while no cap is armed, so
+    //! executors can meter how many batches a scheme prefix consumed
+    //! ([`used`]) and re-charge them against the cap when a memoized
+    //! prefix skips the actual training ([`charge`]).
+
+    use std::cell::Cell;
+
+    thread_local! {
+        static LIMIT: Cell<u64> = const { Cell::new(0) };
+        static USED: Cell<u64> = const { Cell::new(0) };
+        static EXHAUSTED: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Arm a batch cap for the evaluation about to run (0 = unlimited;
+    /// batch counting still restarts from zero). Clears the latch.
+    pub fn arm(limit: u64) {
+        LIMIT.with(|c| c.set(limit));
+        USED.with(|c| c.set(0));
+        EXHAUSTED.with(|c| c.set(false));
+    }
+
+    /// Disarm the cap and clear the counters (call when the supervised
+    /// evaluation is over, so unsupervised training is never capped).
+    pub fn disarm() {
+        arm(0);
+    }
+
+    /// Batches consumed since the last [`arm`]/[`disarm`].
+    pub fn used() -> u64 {
+        USED.with(|c| c.get())
+    }
+
+    /// Account `n` batches that were *skipped* (resumed from a memoized
+    /// prefix) as consumed, so a capped evaluation charges the same
+    /// budget whether or not the cache was warm. Does *not* latch
+    /// exhaustion — only an actually denied batch does, so an evaluation
+    /// classifies identically whether its prefix was replayed or cached.
+    pub fn charge(n: u64) {
+        USED.with(|c| c.set(c.get().saturating_add(n)));
+    }
+
+    /// Ask permission to run one more training batch. Returns `false` —
+    /// and latches exhaustion — once the armed cap is spent.
+    pub fn register_batch() -> bool {
+        let limit = LIMIT.with(|c| c.get());
+        let used = USED.with(|c| c.get());
+        if limit > 0 && used >= limit {
+            EXHAUSTED.with(|c| c.set(true));
+            return false;
+        }
+        USED.with(|c| c.set(used + 1));
+        true
+    }
+
+    /// Read and clear the exhausted latch.
+    pub fn take_exhausted() -> bool {
+        EXHAUSTED.with(|c| c.replace(false))
+    }
+}
+
 /// Plain-supervision training hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainConfig {
@@ -152,6 +226,12 @@ pub fn train(
     let mut diverged = false;
     'outer: loop {
         for (batch, labels) in data.batches(cfg.batch_size, rng) {
+            if !step_budget::register_batch() {
+                // The supervising evaluation's cooperative batch cap is
+                // spent: stop training here; the supervisor reads the
+                // exhausted latch and reports a timeout.
+                break 'outer;
+            }
             if cfg.cosine_lr {
                 let progress = done as f32 / total_batches as f32;
                 let scale = 0.01 + 0.99 * 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());

@@ -141,6 +141,22 @@ pub fn clear() {
 /// harness can tell a simulated kill from a genuine failure.
 pub const INJECTED_EXIT_CODE: i32 = 87;
 
+/// True when the current thread has a non-empty fault plan (installed or
+/// inherited from `AUTOMC_FAULTS`). Subsystems whose correctness depends
+/// on exact per-site tick ordinals — like the prefix-model memo cache,
+/// which would otherwise skip `train` ticks on cache hits — consult this
+/// to become pass-through while faults are scheduled.
+pub fn plan_active() -> bool {
+    STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        let state = state.get_or_insert_with(|| FaultState {
+            plan: env_plan(),
+            counters: HashMap::new(),
+        });
+        !state.plan.is_empty()
+    })
+}
+
 /// Probe a fault site: bump its per-thread counter and return the fault
 /// scheduled for this visit, if any. Call exactly once per guarded
 /// operation.

@@ -57,10 +57,10 @@ fn main() {
         let base = Metrics::measure(&mut model, &test_set);
         let outcome = if depth == 20 {
             // Execute directly on the source model.
-            execute_scheme(&model, &base, &scheme, &space, &train_set, &test_set, &exec, &mut rng).1
+            execute_scheme(&model, &base, &scheme, &space, &train_set, &test_set, &exec).1
         } else {
             // Transfer to the deeper target.
-            transfer_scheme(&scheme, &model, &base, &space, &train_set, &test_set, &exec, &mut rng)
+            transfer_scheme(&scheme, &model, &base, &space, &train_set, &test_set, &exec)
         };
         println!(
             "ResNet-{depth}: base acc {:.1}% → compressed acc {:.1}%  (PR {:.1}%, FR {:.1}%)",

@@ -40,7 +40,7 @@ AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$ref_dir" \
     cargo run --release --offline -p automc-bench --bin table2 -- \
     --smoke --fresh --seed 7 >/tmp/automc-resume-ref.out 2>/dev/null
 set +e
-AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$res_dir" AUTOMC_FAULTS="exit@eval:53" \
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$res_dir" AUTOMC_FAULTS="exit@eval:54" \
     cargo run --release --offline -p automc-bench --bin table2 -- \
     --smoke --fresh --seed 7 >/dev/null 2>&1
 kill_code=$?
@@ -58,6 +58,40 @@ diff /tmp/automc-resume-ref.out /tmp/automc-resume-res.out
 echo "kill/resume smoke passed"
 
 # ---------------------------------------------------------------------------
+# Memo equivalence smoke: the prefix-model cache must not change a single
+# output byte. Run the smallest Table 2 pipeline with memoization off,
+# then on (cold), then on again in the same results dir (--fresh discards
+# completed rows, so every prefix re-hits the spill store), then on at 4
+# threads — all four stdouts must be byte-identical, and the warm run's
+# Evolution search must report a real hit rate.
+# ---------------------------------------------------------------------------
+echo "== memo equivalence smoke =="
+moff_dir=$(mktemp -d)
+mon_dir=$(mktemp -d)
+trap 'rm -rf "$ref_dir" "$res_dir" "$moff_dir" "$mon_dir"' EXIT
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$moff_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo off >/tmp/automc-memo-off.out 2>/dev/null
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$mon_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on >/tmp/automc-memo-cold.out 2>/dev/null
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$mon_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on \
+    >/tmp/automc-memo-warm.out 2>/tmp/automc-memo-warm.err
+AUTOMC_THREADS=4 AUTOMC_RESULTS_DIR="$mon_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on >/tmp/automc-memo-t4.out 2>/dev/null
+diff /tmp/automc-memo-off.out /tmp/automc-memo-cold.out
+diff /tmp/automc-memo-off.out /tmp/automc-memo-warm.out
+diff /tmp/automc-memo-off.out /tmp/automc-memo-t4.out
+grep '\[memo\] Evolution:' /tmp/automc-memo-warm.err
+awk -F'[(%]' '/\[memo\] Evolution:/ { if ($2 + 0 < 30) exit 1 }' \
+    /tmp/automc-memo-warm.err || {
+    echo "memo smoke: Evolution prefix hit rate below 30%"; exit 1; }
+echo "memo equivalence smoke passed"
+
+# ---------------------------------------------------------------------------
 # Recovery-path lint: the modules that implement fault handling must not
 # unwrap in non-test code — a panic inside the recovery machinery defeats
 # it. Test modules (below the `mod tests` line) are exempt.
@@ -65,7 +99,7 @@ echo "kill/resume smoke passed"
 echo "== recovery-path lint =="
 lint_fail=0
 for f in crates/tensor/src/fault.rs crates/core/src/journal.rs \
-         crates/bench/src/cache.rs; do
+         crates/bench/src/cache.rs crates/compress/src/memo.rs; do
     nontest=$(sed '/^\(#\[cfg(test)\]\|mod tests\)/,$d' "$f")
     if echo "$nontest" | grep -n 'unwrap()' >/dev/null; then
         echo "lint: unwrap() in recovery path $f:"

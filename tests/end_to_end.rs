@@ -40,7 +40,6 @@ fn prepared_task() -> (ConvNet, Metrics, automc::data::ImageSet, automc::data::I
 #[test]
 fn scheme_execution_tracks_both_objectives() {
     let (model, base, train_set, test_set) = prepared_task();
-    let mut rng = rng_from_seed(4032);
     let space = StrategySpace::full();
     // Two pruning strategies in sequence.
     let pick = |m: MethodId, r: f32| {
@@ -53,7 +52,7 @@ fn scheme_execution_tracks_both_objectives() {
     let scheme = vec![pick(MethodId::Ns, 0.2), pick(MethodId::Sfp, 0.12)];
     let exec = ExecConfig { pretrain_epochs: 6.0, ..Default::default() };
     let (compressed, outcome) =
-        execute_scheme(&model, &base, &scheme, &space, &train_set, &test_set, &exec, &mut rng);
+        execute_scheme(&model, &base, &scheme, &space, &train_set, &test_set, &exec);
     // Both steps recorded, with compounding reduction.
     assert_eq!(outcome.steps.len(), 2);
     assert!(outcome.steps.iter().all(|s| s.pr_step > 0.0));
