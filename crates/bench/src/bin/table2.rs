@@ -5,6 +5,12 @@
 //!
 //! Run: `cargo run --release -p automc-bench --bin table2 [--seed N] [--fresh]`
 //!
+//! `--workers N` shards the grid across N supervised worker processes
+//! (heartbeats, hang detection, retry/backoff, graceful degradation —
+//! see `automc_bench::orchestrator`); the merged report is byte-identical
+//! to the in-process run. `--worker SPEC` is the orchestrator's internal
+//! self-exec entry point.
+//!
 //! `--smoke` runs the same pipeline at the smallest scale and prints
 //! `SMOKE OK` on a structurally valid result — the CI fault-injection
 //! stage runs this under a seeded `AUTOMC_FAULTS` plan and requires the
@@ -12,15 +18,18 @@
 
 use automc_bench::harness::{run_fingerprint, table2_rows};
 use automc_bench::report::render_rows;
-use automc_bench::scale::{exp1, exp2, smoke};
-use automc_bench::{cache, parse_args};
+use automc_bench::scale::{exp1, exp2, smoke, ExperimentScale};
+use automc_bench::{orchestrator, parse_args, BenchArgs};
 use automc_core::SearchHistory;
 
 fn main() {
     let args = parse_args();
+    if let Some(spec) = &args.worker {
+        std::process::exit(orchestrator::run_worker(&args, spec));
+    }
     let (seed, fresh) = (args.seed, args.fresh);
     if args.smoke {
-        run_smoke(seed, fresh);
+        run_smoke(&args);
         return;
     }
     println!("Table 2 reproduction (seed {seed})");
@@ -29,9 +38,24 @@ fn main() {
             "exp1" => "ResNet-56 on CIFAR-10-like",
             _ => "VGG-16 on CIFAR-100-like",
         };
-        let (band40, band70) = table2_rows(&exp, seed, fresh);
+        let (band40, band70) = rows_for(&exp, &args, seed, fresh);
         println!("{}", render_rows(&format!("{label} — PR ≈ 40%"), &band40));
         println!("{}", render_rows(&format!("{label} — PR ≈ 70%"), &band70));
+    }
+}
+
+/// In-process pool (`--workers 0`, the default) or supervised
+/// multi-process sharding (`--workers N`) — identical results either way.
+fn rows_for(
+    exp: &ExperimentScale,
+    args: &BenchArgs,
+    seed: u64,
+    fresh: bool,
+) -> (Vec<automc_bench::harness::FinalRow>, Vec<automc_bench::harness::FinalRow>) {
+    if args.workers > 0 {
+        orchestrator::table2_rows_sharded(exp, args)
+    } else {
+        table2_rows(exp, seed, fresh)
     }
 }
 
@@ -39,10 +63,11 @@ fn main() {
 /// scale, with structural validation. Prints `SMOKE OK` only if every
 /// expected row is present — faulted evaluations may degrade individual
 /// rows, but the table itself must always be produced.
-fn run_smoke(seed: u64, fresh: bool) {
+fn run_smoke(args: &BenchArgs) {
+    let (seed, fresh) = (args.seed, args.fresh);
     let exp = smoke();
     println!("Table 2 smoke run (seed {seed}, scale {})", exp.name);
-    let (band40, band70) = table2_rows(&exp, seed, fresh);
+    let (band40, band70) = rows_for(&exp, args, seed, fresh);
     println!("{}", render_rows("smoke — PR ≈ 40%", &band40));
     println!("{}", render_rows("smoke — PR ≈ 70%", &band70));
 
@@ -56,13 +81,15 @@ fn run_smoke(seed: u64, fresh: bool) {
         std::process::exit(1);
     }
 
-    // Report how the supervision layer handled faulted evaluations.
+    // Report how the supervision layer handled faulted evaluations. In a
+    // sharded run each search history lives in its owning worker's
+    // sub-store, so look across all of them.
     let fp = run_fingerprint(&exp, seed);
     let mut evals = 0usize;
     let mut infeasible = 0usize;
     for algo in ["automc", "evolution", "rl", "random"] {
         let key = format!("{}_s{seed}_{algo}", exp.name);
-        if let Some(h) = cache::load::<SearchHistory>(&key, &fp) {
+        if let Some(h) = orchestrator::load_result_any::<SearchHistory>(&key, &fp) {
             evals += h.records.len();
             infeasible += h.failed_count();
         }

@@ -53,7 +53,11 @@ pub fn cache_path(key: &str) -> PathBuf {
 }
 
 fn read_envelope(key: &str) -> Option<(String, Value)> {
-    let text = fs::read_to_string(cache_path(key)).ok()?;
+    read_envelope_at(&cache_path(key), key)
+}
+
+fn read_envelope_at(path: &std::path::Path, key: &str) -> Option<(String, Value)> {
+    let text = fs::read_to_string(path).ok()?;
     let v = match automc_json::parse(&text) {
         Ok(v) => v,
         Err(_) => {
@@ -90,6 +94,23 @@ fn read_envelope(key: &str) -> Option<(String, Value)> {
 /// fingerprint; anything else is a miss.
 pub fn load<T: FromJson>(key: &str, fingerprint: &str) -> Option<T> {
     let (fp, value) = read_envelope(key)?;
+    if fp != fingerprint {
+        eprintln!("[cache] {key}: fingerprint mismatch ({fp} != {fingerprint}), recomputing");
+        return None;
+    }
+    T::from_json(&value)
+}
+
+/// [`load`] from an explicit store directory instead of [`cache_dir`].
+/// The multi-process orchestrator reads worker results this way: each
+/// worker persists into its own isolated sub-store, and the supervisor
+/// merges them without re-pointing its `AUTOMC_RESULTS_DIR`.
+pub fn load_from<T: FromJson>(
+    dir: &std::path::Path,
+    key: &str,
+    fingerprint: &str,
+) -> Option<T> {
+    let (fp, value) = read_envelope_at(&dir.join(format!("{key}.json")), key)?;
     if fp != fingerprint {
         eprintln!("[cache] {key}: fingerprint mismatch ({fp} != {fingerprint}), recomputing");
         return None;

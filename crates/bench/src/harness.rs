@@ -38,7 +38,10 @@ pub fn set_resume(enabled: bool) {
     RESUME.store(enabled, Ordering::Relaxed);
 }
 
-fn resume_enabled() -> bool {
+/// Whether journal resume is enabled for this process (shared with the
+/// multi-process orchestrator, whose retry-counter journal obeys the same
+/// `--no-resume` switch).
+pub fn resume_enabled() -> bool {
     RESUME.load(Ordering::Relaxed)
 }
 
@@ -308,9 +311,11 @@ fn supervised_apply(
     }
 }
 
-/// The degraded row reported when every attempt at a method failed: zero
-/// metrics, clearly labelled, never mistakable for a real result.
-fn degraded_row(name: &str, why: &str) -> FinalRow {
+/// The degraded row reported when a result could not be produced — every
+/// attempt at a method failed, or (in sharded runs) the owning worker
+/// exhausted its retry budget: zero metrics, clearly labelled, never
+/// mistakable for a real result.
+pub fn degraded_row(name: &str, why: &str) -> FinalRow {
     FinalRow {
         algorithm: format!("{name} ({why})"),
         params: 0,
@@ -515,6 +520,42 @@ impl FromJson for CorpusDto {
     }
 }
 
+/// `cache::load_or` with a read-only fallback store for *global*
+/// artifacts — the experience corpus and the embeddings are seed-keyed
+/// and task-independent, so a sharded worker can reuse the copy its
+/// supervisor already computed instead of re-deriving it (the dominant
+/// fixed cost of a run). `AUTOMC_SHARED_RESULTS_DIR` names the fallback
+/// store (the supervisor's own result dir; never written by workers); a
+/// fallback hit is copied into the primary store so later lookups are
+/// local.
+fn load_or_shared<T: ToJson + FromJson>(
+    key: &str,
+    fingerprint: &str,
+    fresh: bool,
+    compute: impl FnOnce() -> T,
+) -> T {
+    if !fresh {
+        if let Some(v) = cache::load(key, fingerprint) {
+            eprintln!("[cache] reusing {key}");
+            return v;
+        }
+        if let Ok(dir) = std::env::var("AUTOMC_SHARED_RESULTS_DIR") {
+            if !dir.is_empty() {
+                if let Some(v) =
+                    cache::load_from(std::path::Path::new(&dir), key, fingerprint)
+                {
+                    eprintln!("[cache] reusing {key} from shared store");
+                    cache::store(key, fingerprint, &v);
+                    return v;
+                }
+            }
+        }
+    }
+    let v = compute();
+    cache::store(key, fingerprint, &v);
+    v
+}
+
 /// Generate (or load) the experience corpus for a strategy space.
 pub fn experience_corpus(
     space: &StrategySpace,
@@ -525,7 +566,7 @@ pub fn experience_corpus(
     let key = format!("corpus_{space_tag}_s{seed}");
     // The corpus micro-tasks are hard-coded, so the seed alone pins them.
     let fp = format!("s{seed}|corpus");
-    let dto = cache::load_or(&key, &fp, fresh, || {
+    let dto = load_or_shared(&key, &fp, fresh, || {
         eprintln!("[harness] generating experience corpus ({space_tag})…");
         let mut rng = rng_from_seed(seed ^ 0xE0);
         let mut tasks = vec![
@@ -581,7 +622,7 @@ pub fn automc_embeddings(
         use_kg as u8, use_experience as u8
     );
     let fp = format!("s{seed}|emb");
-    cache::load_or(&key, &fp, fresh, || {
+    load_or_shared(&key, &fp, fresh, || {
         let corpus = experience_corpus(space, space_tag, seed, fresh);
         eprintln!("[harness] learning embeddings ({key})…");
         let mut rng = rng_from_seed(seed ^ 0xE1);
@@ -814,6 +855,48 @@ fn algo_band_rows(
     out
 }
 
+/// Number of independent task units in the Table 2 grid: twelve method
+/// rows (method-major, ratio-minor) followed by the four AutoML searches,
+/// in reporting order. Shared by the in-process pool ([`table2_rows`])
+/// and the multi-process orchestrator, which shard the same task indices.
+pub fn table2_task_count() -> usize {
+    MethodId::ALL.len() * 2 + Algo::ALL.len()
+}
+
+/// Execute task `i` of the Table 2 grid and return its `(band, row)`
+/// pairs. Tasks derive their RNG from `(seed, task-id)` alone, so a task
+/// produces bitwise-identical rows on any thread, in any process, in any
+/// order — the property that makes both the in-process pool and the
+/// multi-process orchestrator merge back into one deterministic table.
+pub fn table2_task(
+    task: &PreparedTask,
+    space: &StrategySpace,
+    embeddings: &[Vec<f32>],
+    i: usize,
+    seed: u64,
+    fresh: bool,
+) -> Vec<(usize, FinalRow)> {
+    let n_method_tasks = MethodId::ALL.len() * 2;
+    if i < n_method_tasks {
+        let method = MethodId::ALL[i / 2];
+        let ratio = if i % 2 == 0 { 0.4 } else { 0.7 };
+        eprintln!("[harness] {}: method {} @{ratio}…", task.scale.name, method.name());
+        vec![(i % 2, method_baseline_row(task, method, ratio, seed, fresh))]
+    } else {
+        let algo = Algo::ALL[i - n_method_tasks];
+        let history = run_search(
+            algo,
+            task,
+            space,
+            Some(embeddings),
+            seed,
+            fresh,
+            task.scale.name,
+        );
+        algo_band_rows(algo, &history, task, space, seed)
+    }
+}
+
 /// Run (or load) the full Table 2 pipeline for one experiment: method
 /// baselines plus all four AutoML algorithms in both PR bands.
 ///
@@ -845,32 +928,11 @@ pub fn table2_rows(
     let space = StrategySpace::full();
     let emb = automc_embeddings(&space, "full", seed, fresh, true, true);
 
-    // Task grid: 12 method rows (method-major, ratio-minor) followed by
-    // the 4 AutoML searches, in reporting order.
-    let n_method_tasks = MethodId::ALL.len() * 2;
-    let n_tasks = n_method_tasks + Algo::ALL.len();
     let task_ref = &task;
     let space_ref = &space;
     let emb_ref = &emb;
-    let outs: Vec<Vec<(usize, FinalRow)>> = par::par_map(n_tasks, |i| {
-        if i < n_method_tasks {
-            let method = MethodId::ALL[i / 2];
-            let ratio = if i % 2 == 0 { 0.4 } else { 0.7 };
-            eprintln!("[harness] {}: method {} @{ratio}…", exp.name, method.name());
-            vec![(i % 2, method_baseline_row(task_ref, method, ratio, seed, fresh))]
-        } else {
-            let algo = Algo::ALL[i - n_method_tasks];
-            let history = run_search(
-                algo,
-                task_ref,
-                space_ref,
-                Some(emb_ref),
-                seed,
-                fresh,
-                exp.name,
-            );
-            algo_band_rows(algo, &history, task_ref, space_ref, seed)
-        }
+    let outs: Vec<Vec<(usize, FinalRow)>> = par::par_map(table2_task_count(), |i| {
+        table2_task(task_ref, space_ref, emb_ref, i, seed, fresh)
     });
 
     let mut band40: Vec<FinalRow> = vec![FinalRow::baseline(&task)];

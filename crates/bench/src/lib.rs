@@ -28,6 +28,7 @@
 
 pub mod cache;
 pub mod harness;
+pub mod orchestrator;
 pub mod report;
 pub mod scale;
 
@@ -53,6 +54,18 @@ pub struct BenchArgs {
     /// Prefix-model memoization override (`--memo on|off`). `None` defers
     /// to `AUTOMC_MEMO` (default: enabled).
     pub memo: Option<bool>,
+    /// Worker processes for the Table 2 orchestrator (`--workers N`;
+    /// 0 = run in-process, the default).
+    pub workers: usize,
+    /// Worker heartbeat interval in milliseconds (`--heartbeat-ms N`).
+    /// The supervisor declares a worker hung after 8 missed intervals
+    /// (floor 1.5 s).
+    pub heartbeat_ms: u64,
+    /// Restarts per worker before its shard degrades (`--retries N`).
+    pub retries: u32,
+    /// Worker-mode shard spec (`--worker <exp>:<idx>/<n>`), set by the
+    /// supervisor when it self-execs — not intended for direct use.
+    pub worker: Option<String>,
 }
 
 impl BenchArgs {
@@ -65,8 +78,16 @@ impl BenchArgs {
         if automc_compress::memo::enabled() {
             // Spill evicted/inserted prefix models next to the result
             // cache so a relaunched process re-hits prefixes computed by
-            // an earlier run.
-            automc_compress::memo::set_spill_dir(Some(cache::cache_dir().join("memo")));
+            // an earlier run. `AUTOMC_MEMO_SPILL_DIR` re-points the store:
+            // the orchestrator isolates each worker's result cache but
+            // shares one spill store across the fleet (prefix models are
+            // content-addressed, so sharing is always sound).
+            let spill = std::env::var("AUTOMC_MEMO_SPILL_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| cache::cache_dir().join("memo"));
+            automc_compress::memo::set_spill_dir(Some(spill));
         }
         if let Some(spec) = &self.faults {
             match automc_tensor::fault::FaultPlan::parse(spec) {
@@ -81,7 +102,8 @@ impl BenchArgs {
 }
 
 /// Parse `--seed N` / `--fresh` / `--threads N` / `--no-resume` /
-/// `--faults SPEC` / `--memo on|off` from argv (tiny flag parser shared
+/// `--faults SPEC` / `--memo on|off` / `--workers N` / `--heartbeat-ms N`
+/// / `--retries N` / `--worker SPEC` from argv (tiny flag parser shared
 /// by the reproduction binaries).
 pub fn parse_args() -> BenchArgs {
     let mut parsed = BenchArgs {
@@ -92,6 +114,10 @@ pub fn parse_args() -> BenchArgs {
         faults: None,
         smoke: false,
         memo: None,
+        workers: 0,
+        heartbeat_ms: 500,
+        retries: 2,
+        worker: None,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -112,6 +138,30 @@ pub fn parse_args() -> BenchArgs {
             "--faults" => {
                 if let Some(v) = args.get(i + 1) {
                     parsed.faults = Some(v.clone());
+                    i += 1;
+                }
+            }
+            "--workers" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    parsed.workers = v;
+                    i += 1;
+                }
+            }
+            "--heartbeat-ms" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    parsed.heartbeat_ms = v;
+                    i += 1;
+                }
+            }
+            "--retries" => {
+                if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    parsed.retries = v;
+                    i += 1;
+                }
+            }
+            "--worker" => {
+                if let Some(v) = args.get(i + 1) {
+                    parsed.worker = Some(v.clone());
                     i += 1;
                 }
             }

@@ -1,0 +1,825 @@
+//! Supervised multi-process sharding of the Table 2 workload.
+//!
+//! The in-process pool (`automc_tensor::par`) already survives panics and
+//! the journal layer survives a kill of the *whole* process — but a
+//! production-scale search fleet must survive the failure of *one*
+//! process without losing the run. This module adds that layer: a
+//! **supervisor** shards the Table 2 grid (twelve method rows plus the
+//! four AutoML searches, `harness::table2_task_count()` task units)
+//! across `N` worker processes spawned by self-exec
+//! (`table2 --worker <exp>:<idx>/<n>`), supervises them, and merges their
+//! results into one report that is **byte-identical to a single-process
+//! run** — every task derives its RNG from `(seed, task-id)` alone, and
+//! merge order is fixed by task index.
+//!
+//! Isolation and sharing:
+//!
+//! * each worker persists into its own sub-store
+//!   (`AUTOMC_RESULTS_DIR=<root>/worker<idx>`), so a crashed worker can
+//!   corrupt at most its own cache, never a sibling's;
+//! * all workers share the memo spill store
+//!   (`AUTOMC_MEMO_SPILL_DIR=<root>/memo`) — prefix models are
+//!   content-addressed, so cross-process sharing is free;
+//! * each worker emits [`journal::Heartbeat`] records (checksummed,
+//!   atomic) at `--heartbeat-ms` cadence, carrying its beat sequence,
+//!   current eval ordinal, and tasks completed.
+//!
+//! Failure handling (the failure matrix of DESIGN.md §11):
+//!
+//! * **crash** — the supervisor observes a non-zero exit and restarts the
+//!   worker with exponential backoff; the restart resumes for free
+//!   (completed tasks are cached in the worker's store, in-progress
+//!   searches resume from their journals);
+//! * **hang** — a worker whose heartbeat `seq` has not advanced within
+//!   the deadline (8 × the heartbeat interval, floor 1.5 s) is killed and
+//!   restarted the same way;
+//! * **retry-exhausted** — after `--retries` restarts the worker is
+//!   abandoned and its unfinished tasks degrade to labelled
+//!   [`harness::degraded_row`]s (`… (worker N unavailable)`); the run
+//!   always completes;
+//! * **supervisor restart** — per-worker retry counters are journaled
+//!   (checksummed, atomic) on every failure, so a relaunched supervisor
+//!   continues the retry budget instead of resetting it, and workers
+//!   fast-forward through their caches.
+//!
+//! Supervision paths are deterministically testable via the `worker`
+//! fault site: `kill@worker:n` / `hang@worker:n` tick in the supervisor —
+//! once per spawn, so the n-th spawn is the faulted one and restarts
+//! never re-fire — and are translated into a directive
+//! (`AUTOMC_WORKER_FAULT`) that makes the child crash (exit
+//! [`WORKER_KILL_EXIT`]) or stop heartbeating after its first completed
+//! task.
+
+use crate::cache;
+use crate::harness::{
+    self, degraded_row, run_fingerprint, table2_task, table2_task_count, FinalRow,
+};
+use crate::scale::{exp1, exp2, prepare_task, smoke, ExperimentScale};
+use crate::BenchArgs;
+use automc_compress::{MethodId, StrategySpace};
+use automc_core::journal::{self, Heartbeat};
+use automc_json::{field, obj, FromJson, ToJson, Value};
+use automc_tensor::fault::{self, FaultKind};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Exit code of a worker whose injected `kill@worker` directive fired, so
+/// logs can tell a simulated worker crash from a genuine failure.
+pub const WORKER_KILL_EXIT: i32 = 86;
+
+/// Base of the exponential restart backoff (doubles per retry).
+const BACKOFF_BASE_MS: u64 = 200;
+
+/// Cap on a single backoff pause.
+const BACKOFF_CAP_MS: u64 = 5_000;
+
+/// Supervisor poll interval.
+const POLL_MS: u64 = 25;
+
+// ------------------------------------------------------------------------
+// Shard layout
+// ------------------------------------------------------------------------
+
+/// The worker that owns task `i` under round-robin sharding.
+pub fn task_owner(i: usize, workers: usize) -> usize {
+    i % workers.max(1)
+}
+
+/// Cache key under which a worker persists task `i`'s rows.
+pub fn shard_key(exp_name: &str, seed: u64, i: usize) -> String {
+    format!("shard_{exp_name}_s{seed}_t{i}")
+}
+
+/// Cache key of the baseline row (persisted by worker 0).
+pub fn baseline_key(exp_name: &str, seed: u64) -> String {
+    format!("shard_{exp_name}_s{seed}_baseline")
+}
+
+/// The isolated result sub-store of worker `idx` under the supervisor's
+/// results root.
+pub fn worker_dir(root: &Path, idx: usize) -> PathBuf {
+    root.join(format!("worker{idx}"))
+}
+
+fn heartbeat_path(root: &Path, idx: usize) -> PathBuf {
+    root.join("hb").join(format!("worker{idx}.hb"))
+}
+
+/// Resolve an experiment scale by its name (the worker spec carries the
+/// name, not the whole configuration).
+pub fn scale_by_name(name: &str) -> Option<ExperimentScale> {
+    match name {
+        "exp1" => Some(exp1()),
+        "exp2" => Some(exp2()),
+        "smoke" => Some(smoke()),
+        _ => None,
+    }
+}
+
+/// Parse a `--worker` spec: `<exp>:<idx>/<n>`.
+pub fn parse_worker_spec(spec: &str) -> Option<(ExperimentScale, usize, usize)> {
+    let (name, shard) = spec.split_once(':')?;
+    let (idx, n) = shard.split_once('/')?;
+    let idx: usize = idx.parse().ok()?;
+    let n: usize = n.parse().ok()?;
+    if n == 0 || idx >= n {
+        return None;
+    }
+    Some((scale_by_name(name)?, idx, n))
+}
+
+// ------------------------------------------------------------------------
+// Worker side
+// ------------------------------------------------------------------------
+
+/// Background heartbeat emitter: one beat per interval, each a
+/// checksummed atomic [`Heartbeat`] record. Freezing it (the injected
+/// hang) stops all further beats without stopping the process.
+struct Emitter {
+    stop: Arc<AtomicBool>,
+    frozen: Arc<AtomicBool>,
+    tasks_done: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+    path: PathBuf,
+    worker: u64,
+}
+
+impl Emitter {
+    fn start(worker: u64, path: PathBuf, interval_ms: u64) -> Emitter {
+        let stop = Arc::new(AtomicBool::new(false));
+        let frozen = Arc::new(AtomicBool::new(false));
+        let tasks_done = Arc::new(AtomicU64::new(0));
+        let beat = move |seq: u64, tasks: u64, done: bool| Heartbeat {
+            worker,
+            pid: std::process::id() as u64,
+            seq,
+            eval: fault::eval_ordinal(),
+            tasks_done: tasks,
+            done,
+        };
+        // First beat synchronously, so the supervisor's staleness clock
+        // starts from a real record rather than from thread scheduling.
+        if let Err(e) = beat(1, 0, false).save(&path) {
+            eprintln!("warning: worker {worker} cannot write heartbeat: {e}");
+        }
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let frozen = Arc::clone(&frozen);
+            let tasks_done = Arc::clone(&tasks_done);
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut seq = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(interval_ms));
+                    if frozen.load(Ordering::Relaxed) || stop.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    seq += 1;
+                    if let Err(e) = beat(seq, tasks_done.load(Ordering::Relaxed), false)
+                        .save(&path)
+                    {
+                        eprintln!("warning: worker {worker} cannot write heartbeat: {e}");
+                    }
+                }
+                seq
+            })
+        };
+        Emitter {
+            stop,
+            frozen,
+            tasks_done,
+            handle: Some(handle),
+            path,
+            worker,
+        }
+    }
+
+    fn bump_tasks(&self) {
+        self.tasks_done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Injected hang: no further beats, ever.
+    fn freeze(&self) {
+        self.frozen.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop the thread and write the final `done` beat.
+    fn finish(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let seq = self.handle.take().map_or(0, |h| h.join().unwrap_or(0));
+        let last = Heartbeat {
+            worker: self.worker,
+            pid: std::process::id() as u64,
+            seq: seq + 1,
+            eval: fault::eval_ordinal(),
+            tasks_done: self.tasks_done.load(Ordering::Relaxed),
+            done: true,
+        };
+        if let Err(e) = last.save(&self.path) {
+            eprintln!("warning: worker {} cannot write final heartbeat: {e}", self.worker);
+        }
+    }
+}
+
+/// Worker entry point (`table2 --worker <exp>:<idx>/<n>`): run the shard's
+/// tasks, persisting each into this process's isolated result store, and
+/// heartbeat throughout. Returns the process exit code.
+///
+/// Resume is free: completed tasks are cache hits, the in-progress search
+/// or grid run resumes from its journal. The `AUTOMC_WORKER_FAULT`
+/// directive (set by the supervisor when a `worker`-site fault ticked for
+/// this spawn) fires after the first *completed* task, so the restart has
+/// real partial state to pick up.
+pub fn run_worker(args: &BenchArgs, spec: &str) -> i32 {
+    let Some((exp, idx, workers)) = parse_worker_spec(spec) else {
+        eprintln!("error: bad --worker spec `{spec}` (want <exp>:<idx>/<n>)");
+        return 2;
+    };
+    let seed = args.seed;
+    let fp = run_fingerprint(&exp, seed);
+    let emitter = std::env::var("AUTOMC_HEARTBEAT_FILE")
+        .ok()
+        .filter(|p| !p.is_empty())
+        .map(|p| Emitter::start(idx as u64, PathBuf::from(p), args.heartbeat_ms.max(10)));
+    let directive = std::env::var("AUTOMC_WORKER_FAULT").ok().unwrap_or_default();
+
+    let n_tasks = table2_task_count();
+    let my_tasks: Vec<usize> =
+        (0..n_tasks).filter(|&i| task_owner(i, workers) == idx).collect();
+    eprintln!(
+        "[worker {idx}] shard {spec}: {} task(s) {:?}",
+        my_tasks.len(),
+        my_tasks
+    );
+
+    let task = prepare_task(&exp, seed);
+    let space = StrategySpace::full();
+    let n_method_tasks = MethodId::ALL.len() * 2;
+    let needs_emb = my_tasks.iter().any(|&i| i >= n_method_tasks);
+    let emb = if needs_emb {
+        // Never `fresh` here: the supervisor already recomputed the
+        // corpus/embeddings under `--fresh` before spawning, and workers
+        // pull that copy through the shared-store fallback instead of
+        // re-deriving it (the dominant fixed cost of a run).
+        harness::automc_embeddings(&space, "full", seed, false, true, true)
+    } else {
+        Vec::new()
+    };
+    if idx == 0 {
+        // The baseline row needs only the prepared task; worker 0 owns it.
+        cache::store(&baseline_key(exp.name, seed), &fp, &FinalRow::baseline(&task));
+    }
+
+    for (done_before, &i) in my_tasks.iter().enumerate() {
+        let key = shard_key(exp.name, seed, i);
+        let rows: Vec<(usize, FinalRow)> = cache::load_or(&key, &fp, args.fresh, || {
+            table2_task(&task, &space, &emb, i, seed, args.fresh)
+        });
+        drop(rows);
+        if let Some(e) = &emitter {
+            e.bump_tasks();
+        }
+        if done_before == 0 {
+            match directive.as_str() {
+                "kill" => {
+                    eprintln!(
+                        "[worker {idx}] injected kill after task {i} \
+                         (exit {WORKER_KILL_EXIT})"
+                    );
+                    std::process::exit(WORKER_KILL_EXIT);
+                }
+                "hang" => {
+                    eprintln!("[worker {idx}] injected hang after task {i}");
+                    if let Some(e) = &emitter {
+                        e.freeze();
+                    }
+                    // Park until the supervisor's deadline reclaims us.
+                    loop {
+                        std::thread::sleep(Duration::from_secs(3600));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(e) = emitter {
+        e.finish();
+    }
+    eprintln!("[worker {idx}] shard complete");
+    0
+}
+
+// ------------------------------------------------------------------------
+// Supervisor side
+// ------------------------------------------------------------------------
+
+/// Journaled supervisor state: per-worker retry counters, keyed by a tag
+/// covering the run fingerprint and worker count. Written (checksummed,
+/// atomic) on every failure event — exactly once per retry — so a
+/// restarted supervisor continues the budget instead of resetting it.
+struct OrchJournal {
+    tag: String,
+    retries: Vec<u64>,
+}
+
+impl OrchJournal {
+    fn path(root: &Path, exp_name: &str, seed: u64) -> PathBuf {
+        root.join(format!("orch_{exp_name}_s{seed}.journal"))
+    }
+
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("tag", self.tag.to_json()),
+            ("retries", self.retries.to_json()),
+        ])
+    }
+
+    fn save(&self, path: &Path) {
+        if let Err(e) = journal::save_checksummed(path, &self.to_json().to_string_pretty())
+        {
+            eprintln!(
+                "warning: orchestrator journal {} keeps failing ({e}); \
+                 retry counters will not survive a supervisor restart",
+                path.display()
+            );
+        }
+    }
+
+    fn load(path: &Path, tag: &str, workers: usize) -> Option<Vec<u64>> {
+        let payload = journal::load_checksummed(path)?;
+        let v = automc_json::parse(&payload).ok()?;
+        let found: String = field(&v, "tag")?;
+        if found != tag {
+            eprintln!(
+                "warning: orchestrator journal {} belongs to a different run; ignoring",
+                path.display()
+            );
+            return None;
+        }
+        let retries: Vec<u64> = field(&v, "retries")?;
+        if retries.len() != workers {
+            return None;
+        }
+        Some(retries)
+    }
+}
+
+/// One supervised worker process.
+struct Slot {
+    idx: usize,
+    child: Option<Child>,
+    retries: u64,
+    spawns: u64,
+    done: bool,
+    failed: bool,
+    backoff_until: Option<Instant>,
+    last_seq: u64,
+    last_progress: Instant,
+}
+
+/// Outcome of one failure: retry (with backoff) or give up.
+fn fail_or_retry(
+    slot: &mut Slot,
+    why: &str,
+    budget: u64,
+    jpath: &Path,
+    jstate: &mut OrchJournal,
+) {
+    slot.retries += 1;
+    jstate.retries[slot.idx] = slot.retries;
+    jstate.save(jpath);
+    if slot.retries > budget {
+        slot.failed = true;
+        eprintln!(
+            "[orchestrator] worker {} {why}; retry budget ({budget}) exhausted — \
+             its unfinished tasks degrade",
+            slot.idx
+        );
+    } else {
+        let backoff =
+            (BACKOFF_BASE_MS << (slot.retries - 1).min(32)).min(BACKOFF_CAP_MS);
+        eprintln!(
+            "[orchestrator] worker {} {why}; retry {}/{budget} in {backoff} ms",
+            slot.idx, slot.retries
+        );
+        slot.backoff_until = Some(Instant::now() + Duration::from_millis(backoff));
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    exe: &Path,
+    exp: &ExperimentScale,
+    args: &BenchArgs,
+    idx: usize,
+    workers: usize,
+    root: &Path,
+    first_attempt: bool,
+) -> std::io::Result<Child> {
+    let mut cmd = Command::new(exe);
+    if args.smoke {
+        cmd.arg("--smoke");
+    }
+    cmd.arg("--seed").arg(args.seed.to_string());
+    // `--fresh` recomputes completed results; a *restart* must keep the
+    // crashed attempt's completed work (determinism makes reuse always
+    // value-correct), so only the first spawn forwards it.
+    if args.fresh && first_attempt {
+        cmd.arg("--fresh");
+    }
+    if args.no_resume {
+        cmd.arg("--no-resume");
+    }
+    if let Some(memo) = args.memo {
+        cmd.arg("--memo").arg(if memo { "on" } else { "off" });
+    }
+    cmd.arg("--threads").arg(args.threads.to_string());
+    cmd.arg("--heartbeat-ms").arg(args.heartbeat_ms.to_string());
+    cmd.arg("--worker").arg(format!("{}:{idx}/{workers}", exp.name));
+    cmd.env("AUTOMC_RESULTS_DIR", worker_dir(root, idx))
+        .env("AUTOMC_SHARED_RESULTS_DIR", root)
+        .env("AUTOMC_MEMO_SPILL_DIR", root.join("memo"))
+        .env("AUTOMC_HEARTBEAT_FILE", heartbeat_path(root, idx))
+        // Fault plans are the supervisor's to interpret: worker-site
+        // faults become directives; eval-site plans must not replicate
+        // into every child (their ordinals are per-process).
+        .env_remove("AUTOMC_FAULTS");
+    match fault::tick("worker") {
+        Some(FaultKind::Kill) => {
+            cmd.env("AUTOMC_WORKER_FAULT", "kill");
+        }
+        Some(FaultKind::Hang) => {
+            cmd.env("AUTOMC_WORKER_FAULT", "hang");
+        }
+        _ => {
+            cmd.env_remove("AUTOMC_WORKER_FAULT");
+        }
+    }
+    cmd.stdin(Stdio::null()).stdout(Stdio::null()).stderr(Stdio::inherit());
+    cmd.spawn()
+}
+
+/// Supervise `workers` child processes until every one is done or has
+/// exhausted its retry budget. Returns the slots for the merge step.
+fn supervise(
+    exe: &Path,
+    exp: &ExperimentScale,
+    args: &BenchArgs,
+    workers: usize,
+    root: &Path,
+    fp: &str,
+) -> Vec<Slot> {
+    let budget = args.retries as u64;
+    let deadline = Duration::from_millis((args.heartbeat_ms.saturating_mul(8)).max(1_500));
+    let jpath = OrchJournal::path(root, exp.name, args.seed);
+    let tag = format!("orch-v1|{fp}|w{workers}");
+    let mut jstate = OrchJournal { tag: tag.clone(), retries: vec![0; workers] };
+    if harness::resume_enabled() {
+        if let Some(retries) = OrchJournal::load(&jpath, &tag, workers) {
+            eprintln!(
+                "[orchestrator] resumed retry counters {:?} from {}",
+                retries,
+                jpath.display()
+            );
+            jstate.retries = retries;
+        }
+    }
+    let mut slots: Vec<Slot> = (0..workers)
+        .map(|idx| Slot {
+            idx,
+            child: None,
+            retries: jstate.retries[idx],
+            spawns: 0,
+            done: false,
+            failed: jstate.retries[idx] > budget,
+            backoff_until: None,
+            last_seq: 0,
+            last_progress: Instant::now(),
+        })
+        .collect();
+
+    loop {
+        let mut all_settled = true;
+        for slot in &mut slots {
+            if slot.done || slot.failed {
+                continue;
+            }
+            all_settled = false;
+            match slot.child.take() {
+                None => {
+                    if slot.backoff_until.is_some_and(|t| Instant::now() < t) {
+                        continue;
+                    }
+                    slot.backoff_until = None;
+                    match spawn_worker(
+                        exe,
+                        exp,
+                        args,
+                        slot.idx,
+                        workers,
+                        root,
+                        slot.spawns == 0,
+                    ) {
+                        Ok(child) => {
+                            slot.spawns += 1;
+                            slot.last_seq = 0;
+                            slot.last_progress = Instant::now();
+                            slot.child = Some(child);
+                        }
+                        Err(e) => fail_or_retry(
+                            slot,
+                            &format!("failed to spawn ({e})"),
+                            budget,
+                            &jpath,
+                            &mut jstate,
+                        ),
+                    }
+                }
+                Some(mut child) => match child.try_wait() {
+                    Ok(Some(status)) if status.success() => {
+                        slot.done = true;
+                        eprintln!("[orchestrator] worker {} finished", slot.idx);
+                    }
+                    Ok(Some(status)) => {
+                        let code = status
+                            .code()
+                            .map_or("killed by signal".to_string(), |c| {
+                                format!("exit code {c}")
+                            });
+                        fail_or_retry(
+                            slot,
+                            &format!("crashed ({code})"),
+                            budget,
+                            &jpath,
+                            &mut jstate,
+                        );
+                    }
+                    Ok(None) => {
+                        if let Some(hb) = Heartbeat::load(&heartbeat_path(root, slot.idx))
+                        {
+                            if hb.seq != slot.last_seq {
+                                slot.last_seq = hb.seq;
+                                slot.last_progress = Instant::now();
+                            }
+                        }
+                        if slot.last_progress.elapsed() > deadline {
+                            eprintln!(
+                                "[orchestrator] worker {} hung (no heartbeat for \
+                                 {} ms); killing it",
+                                slot.idx,
+                                slot.last_progress.elapsed().as_millis()
+                            );
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            fail_or_retry(slot, "hung", budget, &jpath, &mut jstate);
+                        } else {
+                            slot.child = Some(child);
+                        }
+                    }
+                    Err(e) => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        fail_or_retry(
+                            slot,
+                            &format!("unwaitable ({e})"),
+                            budget,
+                            &jpath,
+                            &mut jstate,
+                        );
+                    }
+                },
+            }
+        }
+        if all_settled {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(POLL_MS));
+    }
+    slots
+}
+
+/// Merge per-worker results into the final `(band40, band70)` table, in
+/// the exact order the serial pipeline produces. A task whose result is
+/// unreadable — its owner exhausted the retry budget mid-shard, or its
+/// store is damaged — degrades to a labelled row instead of aborting.
+fn merge_rows(
+    exp: &ExperimentScale,
+    seed: u64,
+    workers: usize,
+    root: &Path,
+    fp: &str,
+) -> (Vec<FinalRow>, Vec<FinalRow>) {
+    let n_method_tasks = MethodId::ALL.len() * 2;
+    let baseline: FinalRow = cache::load_from(
+        &worker_dir(root, 0),
+        &baseline_key(exp.name, seed),
+        fp,
+    )
+    .unwrap_or_else(|| degraded_row("baseline", "worker 0 unavailable"));
+    let mut band40 = vec![baseline];
+    let mut band70 = Vec::new();
+    for i in 0..table2_task_count() {
+        let owner = task_owner(i, workers);
+        let rows: Vec<(usize, FinalRow)> = cache::load_from(
+            &worker_dir(root, owner),
+            &shard_key(exp.name, seed, i),
+            fp,
+        )
+        .unwrap_or_else(|| {
+            let why = format!("worker {owner} unavailable");
+            if i < n_method_tasks {
+                vec![(i % 2, degraded_row(MethodId::ALL[i / 2].name(), &why))]
+            } else {
+                let algo = harness::Algo::ALL[i - n_method_tasks];
+                vec![
+                    (0, degraded_row(algo.name(), &why)),
+                    (1, degraded_row(algo.name(), &why)),
+                ]
+            }
+        });
+        for (band, row) in rows {
+            if band == 0 {
+                band40.push(row);
+            } else {
+                band70.push(row);
+            }
+        }
+    }
+    (band40, band70)
+}
+
+/// Sharded drop-in for [`harness::table2_rows`]: supervise `args.workers`
+/// child processes over the Table 2 grid and merge their results. Falls
+/// back to the in-process pool when self-exec is unavailable — degraded
+/// but never aborted.
+pub fn table2_rows_sharded(
+    exp: &ExperimentScale,
+    args: &BenchArgs,
+) -> (Vec<FinalRow>, Vec<FinalRow>) {
+    let seed = args.seed;
+    let key = format!("table2_{}_s{seed}", exp.name);
+    let fp = run_fingerprint(exp, seed);
+    if !args.fresh {
+        if let Some(rows) = cache::load(&key, &fp) {
+            eprintln!("[cache] reusing {key}");
+            return rows;
+        }
+    }
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!(
+                "[orchestrator] cannot resolve the worker executable ({e}); \
+                 degrading to the in-process run"
+            );
+            return harness::table2_rows(exp, seed, args.fresh);
+        }
+    };
+    let workers = args.workers.clamp(1, table2_task_count());
+    let root = cache::cache_dir();
+    if let Err(e) = std::fs::create_dir_all(&root) {
+        eprintln!(
+            "[orchestrator] cannot create results root {} ({e}); \
+             degrading to the in-process run",
+            root.display()
+        );
+        return harness::table2_rows(exp, seed, args.fresh);
+    }
+    eprintln!(
+        "[orchestrator] {}: sharding {} tasks across {workers} worker(s), \
+         heartbeat {} ms, {} retries",
+        exp.name,
+        table2_task_count(),
+        args.heartbeat_ms,
+        args.retries
+    );
+    // Compute the global artifacts (experience corpus + embeddings) once,
+    // in the supervisor's own store, before any worker spawns: every
+    // worker that owns a search task pulls them through the shared-store
+    // fallback instead of re-deriving them per process.
+    let _ = harness::automc_embeddings(
+        &StrategySpace::full(),
+        "full",
+        seed,
+        args.fresh,
+        true,
+        true,
+    );
+    let slots = supervise(&exe, exp, args, workers, &root, &fp);
+    let failed: Vec<usize> =
+        slots.iter().filter(|s| s.failed).map(|s| s.idx).collect();
+    if !failed.is_empty() {
+        eprintln!("[orchestrator] degraded workers: {failed:?}");
+    }
+    let retries_total: u64 = slots.iter().map(|s| s.retries).sum();
+    eprintln!("[orchestrator] {} complete ({retries_total} retries)", exp.name);
+    let rows = merge_rows(exp, seed, workers, &root, &fp);
+    cache::store(&key, &fp, &rows);
+    journal::discard(&OrchJournal::path(&root, exp.name, seed));
+    rows
+}
+
+/// Load a cached value from the supervisor's own store or, failing that,
+/// from any worker sub-store under it — the sharded counterpart of
+/// [`cache::load`] for artifacts (like search histories) that live where
+/// the owning worker ran.
+pub fn load_result_any<T: FromJson>(key: &str, fingerprint: &str) -> Option<T> {
+    if let Some(v) = cache::load(key, fingerprint) {
+        return Some(v);
+    }
+    let root = cache::cache_dir();
+    for idx in 0..table2_task_count() {
+        let dir = worker_dir(&root, idx);
+        if !dir.exists() {
+            break;
+        }
+        if let Some(v) = cache::load_from(&dir, key, fingerprint) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_sharding_covers_every_task_once() {
+        for workers in 1..=5 {
+            let mut seen = vec![0usize; table2_task_count()];
+            for idx in 0..workers {
+                for i in (0..table2_task_count())
+                    .filter(|&i| task_owner(i, workers) == idx)
+                {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "workers={workers}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn worker_spec_roundtrip_and_rejection() {
+        let (exp, idx, n) = parse_worker_spec("smoke:1/4").expect("valid spec");
+        assert_eq!(exp.name, "smoke");
+        assert_eq!((idx, n), (1, 4));
+        assert!(parse_worker_spec("exp1:0/2").is_some());
+        assert!(parse_worker_spec("exp2:3/4").is_some());
+        assert!(parse_worker_spec("nope:0/2").is_none(), "unknown scale");
+        assert!(parse_worker_spec("smoke:2/2").is_none(), "idx out of range");
+        assert!(parse_worker_spec("smoke:0/0").is_none(), "zero workers");
+        assert!(parse_worker_spec("smoke").is_none());
+        assert!(parse_worker_spec("smoke:x/y").is_none());
+    }
+
+    #[test]
+    fn orchestrator_journal_roundtrips_and_checks_tag() {
+        let dir = std::env::temp_dir()
+            .join(format!("automc-orch-journal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = OrchJournal::path(&dir, "smoke", 7);
+        let j = OrchJournal { tag: "orch-v1|fp|w3".into(), retries: vec![0, 2, 1] };
+        j.save(&path);
+        assert_eq!(
+            OrchJournal::load(&path, "orch-v1|fp|w3", 3),
+            Some(vec![0, 2, 1])
+        );
+        assert_eq!(
+            OrchJournal::load(&path, "orch-v1|other|w3", 3),
+            None,
+            "tag mismatch must be ignored"
+        );
+        assert_eq!(
+            OrchJournal::load(&path, "orch-v1|fp|w3", 4),
+            None,
+            "worker-count mismatch must be ignored"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn degraded_merge_labels_missing_tasks() {
+        // An empty root: every task is missing, every row degraded.
+        let dir = std::env::temp_dir()
+            .join(format!("automc-orch-merge-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let (b40, b70) = merge_rows(&smoke(), 3, 2, &dir, "s3|none");
+        assert_eq!(b40.len(), 11);
+        assert_eq!(b70.len(), 10);
+        assert!(b40[0].algorithm.contains("baseline"));
+        assert!(b40[0].algorithm.contains("worker 0 unavailable"));
+        // Round-robin: odd tasks belong to worker 1.
+        assert!(b70[0].algorithm.contains("worker 1 unavailable"), "{}", b70[0].algorithm);
+        for row in b40.iter().skip(1).chain(&b70) {
+            assert_eq!(row.params, 0);
+            assert!(row.algorithm.contains("unavailable"), "{}", row.algorithm);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

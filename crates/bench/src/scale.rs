@@ -101,14 +101,26 @@ pub fn exp2() -> ExperimentScale {
 /// The smallest end-to-end scale: Table 2's full pipeline (method grid +
 /// all four searches) shrunk until a fresh run takes well under a minute.
 /// Used by the CI fault-injection smoke stage (`table2 --smoke`).
+///
+/// `AUTOMC_SMOKE_TRAIN` / `AUTOMC_SMOKE_TEST` / `AUTOMC_SMOKE_EPOCHS` /
+/// `AUTOMC_SMOKE_BUDGET` shrink (or grow) the scale further — the
+/// orchestrator integration tests run several full `table2 --smoke`
+/// child processes and need each to be cheap. Every knob feeds the scale
+/// fingerprint, so results from different knob settings never mix.
 pub fn smoke() -> ExperimentScale {
+    fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
+    }
     ExperimentScale {
         name: "smoke",
         model: ModelKind::ResNet(20),
-        train: 160,
-        test: 80,
-        pretrain_epochs: 4.0,
-        budget_units: 1_500,
+        train: env_or("AUTOMC_SMOKE_TRAIN", 160),
+        test: env_or("AUTOMC_SMOKE_TEST", 80),
+        pretrain_epochs: env_or("AUTOMC_SMOKE_EPOCHS", 4.0),
+        budget_units: env_or("AUTOMC_SMOKE_BUDGET", 1_500),
         ..exp1()
     }
 }

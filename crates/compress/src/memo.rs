@@ -50,7 +50,11 @@
 //! (`AUTOMC_MEMO_BYTES`, default 256 MiB). Entries can optionally spill
 //! to a content-addressed directory of checksummed blobs
 //! ([`set_spill_dir`]) so resumed or repeated runs re-hit across
-//! processes. `AUTOMC_MEMO=off` disables the cache entirely.
+//! processes. The spill directory is itself capped
+//! (`AUTOMC_MEMO_DISK_BYTES`, default 1 GiB): blobs are evicted
+//! oldest-mtime-first (loads touch mtime, so this is LRU) on startup and
+//! whenever a spill pushes the store over budget. `AUTOMC_MEMO=off`
+//! disables the cache entirely.
 
 use crate::methods::ExecConfig;
 use crate::scheme::{EvalCost, Metrics, StepRecord};
@@ -507,12 +511,94 @@ fn with_stats(f: impl FnOnce(&mut MemoStats)) {
 static SPILL_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static SPILL_WARNED: AtomicBool = AtomicBool::new(false);
 
+/// Default on-disk spill budget (~1 GiB). The spill store is shared by
+/// every process pointed at the same directory and is otherwise unbounded
+/// across runs.
+pub const DEFAULT_DISK_BUDGET: u64 = 1 << 30;
+
+/// Approximate bytes currently in the spill directory: seeded by a full
+/// scan when the directory is set, bumped per spill, re-anchored by each
+/// GC pass. Blobs written by *other* concurrent processes are only
+/// counted at scan time — the cap is a size target, not an invariant.
+static SPILL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn env_disk_budget() -> u64 {
+    std::env::var("AUTOMC_MEMO_DISK_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_DISK_BUDGET)
+}
+
+fn disk_budget_cell() -> &'static AtomicU64 {
+    static BUDGET: OnceLock<AtomicU64> = OnceLock::new();
+    BUDGET.get_or_init(|| AtomicU64::new(env_disk_budget()))
+}
+
+/// Set the on-disk spill budget (overrides `AUTOMC_MEMO_DISK_BYTES`).
+pub fn set_disk_budget(bytes: u64) {
+    disk_budget_cell().store(bytes, Ordering::Relaxed);
+}
+
 /// Direct spilled entries to `dir` (`None` disables spilling). Spilled
 /// blobs let a fresh process re-hit prefixes computed by an earlier run.
+/// Setting a directory scans it and immediately enforces the disk budget
+/// (LRU by mtime), so a long-lived spill store from earlier runs is
+/// trimmed at startup rather than growing without bound.
 pub fn set_spill_dir(dir: Option<PathBuf>) {
     if let Ok(mut g) = SPILL_DIR.lock() {
         *g = dir;
     }
+    gc_spill_store();
+}
+
+/// Enforce the spill-store disk budget: scan the directory, and while the
+/// total exceeds the budget remove blobs oldest-mtime-first (loads touch
+/// mtime, so eviction order is least-recently-used). Returns the bytes
+/// evicted; logs when anything was. Errors are ignored blob-wise — a
+/// blob that cannot be statted or removed is simply skipped.
+pub fn gc_spill_store() -> u64 {
+    let Some(dir) = spill_dir() else { return 0 };
+    let budget = disk_budget_cell().load(Ordering::Relaxed);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        SPILL_BYTES.store(0, Ordering::Relaxed);
+        return 0;
+    };
+    let mut blobs: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
+    let mut total = 0u64;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("bin") {
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        total += meta.len();
+        blobs.push((mtime, meta.len(), path));
+    }
+    let mut evicted_bytes = 0u64;
+    let mut evicted_blobs = 0u64;
+    if total > budget {
+        // Oldest first; tie-break on the path for a deterministic order.
+        blobs.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+        for (_, len, path) in &blobs {
+            if total <= budget {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                total -= len;
+                evicted_bytes += len;
+                evicted_blobs += 1;
+            }
+        }
+        if evicted_bytes > 0 {
+            eprintln!(
+                "[memo] spill GC: evicted {evicted_bytes} bytes \
+                 ({evicted_blobs} blobs), {total} bytes retained"
+            );
+        }
+    }
+    SPILL_BYTES.store(total, Ordering::Relaxed);
+    evicted_bytes
 }
 
 fn spill_dir() -> Option<PathBuf> {
@@ -720,6 +806,14 @@ fn spill_store(key: u64, value: &Cached) {
     if let Err(e) = std::fs::rename(&tmp, &path) {
         spill_warn_once("rename", &e);
         let _ = std::fs::remove_file(&tmp);
+        return;
+    }
+    // Enforce the disk budget as soon as the running total crosses it;
+    // the GC re-anchors the total from a real directory scan.
+    let total = SPILL_BYTES.fetch_add(bytes.len() as u64, Ordering::Relaxed)
+        + bytes.len() as u64;
+    if total > disk_budget_cell().load(Ordering::Relaxed) {
+        gc_spill_store();
     }
 }
 
@@ -728,7 +822,14 @@ fn spill_load(key: u64) -> Option<Cached> {
     let path = spill_path(&dir, key);
     let bytes = std::fs::read(&path).ok()?;
     match decode(&bytes) {
-        Some(v) => Some(v),
+        Some(v) => {
+            // Touch the blob so mtime order approximates LRU and the
+            // disk-budget GC evicts cold prefixes first (best-effort).
+            if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
+                let _ = f.set_modified(std::time::SystemTime::now());
+            }
+            Some(v)
+        }
         None => {
             // A torn or corrupt blob heals by deletion: the prefix is
             // simply recomputed and re-spilled.
@@ -948,6 +1049,48 @@ mod tests {
         assert!(decode(&bad).is_none());
         assert!(decode(&bad[..bad.len() - 3]).is_none(), "truncation");
         assert!(decode(&[]).is_none());
+    }
+
+    #[test]
+    fn spill_gc_evicts_oldest_blobs_to_the_disk_budget() {
+        let dir = std::env::temp_dir().join(format!(
+            "automc-memo-gc-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Three 100-byte blobs with strictly increasing mtimes.
+        let t0 = std::time::SystemTime::now() - std::time::Duration::from_secs(300);
+        for (i, name) in ["aa.bin", "bb.bin", "cc.bin"].iter().enumerate() {
+            let path = dir.join(name);
+            std::fs::write(&path, vec![7u8; 100]).unwrap();
+            let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.set_modified(t0 + std::time::Duration::from_secs(60 * i as u64))
+                .unwrap();
+        }
+        // Non-blob files are never GC candidates.
+        std::fs::write(dir.join("stray.tmp"), b"x").unwrap();
+
+        set_disk_budget(250);
+        set_spill_dir(Some(dir.clone())); // startup scan runs the GC
+        assert!(!dir.join("aa.bin").exists(), "oldest blob evicted first");
+        assert!(dir.join("bb.bin").exists());
+        assert!(dir.join("cc.bin").exists());
+        assert!(dir.join("stray.tmp").exists());
+
+        // Under budget: a GC pass evicts nothing.
+        assert_eq!(gc_spill_store(), 0);
+        assert!(dir.join("bb.bin").exists());
+
+        // Tighten the budget: only the newest blob survives.
+        set_disk_budget(150);
+        assert_eq!(gc_spill_store(), 100);
+        assert!(!dir.join("bb.bin").exists());
+        assert!(dir.join("cc.bin").exists());
+
+        set_spill_dir(None);
+        set_disk_budget(DEFAULT_DISK_BUDGET);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

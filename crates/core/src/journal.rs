@@ -84,20 +84,47 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
-/// Write `bytes` to `path` atomically: write a sibling temp file, then
-/// rename over the destination. Readers either see the old file or the
-/// new one, never a torn write.
+/// Write `bytes` to `path` atomically and durably: write a sibling temp
+/// file, fsync it, rename it over the destination, then fsync the parent
+/// directory. Readers either see the old file or the new one, never a
+/// torn write — and once this returns, a crash (of this process *or* the
+/// machine) cannot make the rename itself vanish: without the directory
+/// fsync a resumed supervisor could observe a journal entry that a
+/// crashed worker "wrote" but whose directory update never reached disk.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
+    use std::io::Write;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p)?;
+            Some(p)
         }
-    }
+        _ => None,
+    };
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
-    fs::write(&tmp, bytes)?;
-    fs::rename(&tmp, path)
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = parent {
+        fsync_dir(parent)?;
+    }
+    Ok(())
+}
+
+/// Flush a directory's metadata (the rename recorded in it) to disk.
+/// Directory fsync is a Unix concept; elsewhere it is a no-op.
+#[cfg(unix)]
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn fsync_dir(_dir: &Path) -> io::Result<()> {
+    Ok(())
 }
 
 /// [`write_atomic`] with bounded retry and backoff for transient I/O
@@ -282,6 +309,72 @@ pub fn merge_eval_intent(path: &Path, fingerprint: u64, counters: &mut Vec<(Stri
         "[journal] merged pre-eval intent record for {}",
         path.display()
     );
+}
+
+// ------------------------------------------------------------------------
+// Worker heartbeats
+// ------------------------------------------------------------------------
+
+/// One worker heartbeat, written (checksummed + atomic — the same
+/// envelope discipline as the journal itself) by a sharded worker process
+/// at a fixed cadence and read by its supervisor. The supervisor tracks
+/// `seq` changes against a wall-clock deadline to distinguish a hung
+/// worker from a slow one; `eval` and `tasks_done` report *where* the
+/// worker is, for logs and diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// Worker shard index.
+    pub worker: u64,
+    /// OS process id of the emitting worker.
+    pub pid: u64,
+    /// Monotonic beat counter; a supervisor treats a worker whose `seq`
+    /// has not advanced within its deadline as hung.
+    pub seq: u64,
+    /// Process-wide supervised-evaluation ordinal at emit time
+    /// (`automc_tensor::fault::eval_ordinal`).
+    pub eval: u64,
+    /// Shard tasks completed so far.
+    pub tasks_done: u64,
+    /// True on the final beat, written after the last task's results are
+    /// persisted.
+    pub done: bool,
+}
+
+impl Heartbeat {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("worker", self.worker.to_json()),
+            ("pid", self.pid.to_json()),
+            ("seq", self.seq.to_json()),
+            ("eval", self.eval.to_json()),
+            ("tasks_done", self.tasks_done.to_json()),
+            ("done", self.done.to_json()),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(Heartbeat {
+            worker: field(v, "worker")?,
+            pid: field(v, "pid")?,
+            seq: field(v, "seq")?,
+            eval: field(v, "eval")?,
+            tasks_done: field(v, "tasks_done")?,
+            done: field(v, "done")?,
+        })
+    }
+
+    /// Write the heartbeat to `path` (checksummed envelope, atomic,
+    /// durable).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        save_checksummed(path, &self.to_json().to_string_pretty())
+    }
+
+    /// Read a heartbeat back; `None` on a missing, torn, or corrupt file
+    /// (the supervisor treats all three as "no beat yet").
+    pub fn load(path: &Path) -> Option<Heartbeat> {
+        let payload = load_checksummed(path)?;
+        automc_json::parse(&payload).ok().as_ref().and_then(Self::from_json)
+    }
 }
 
 // ------------------------------------------------------------------------
@@ -910,6 +1003,33 @@ mod tests {
         );
         discard(&path);
         assert!(!intent_path(&path).exists(), "discard removes the intent");
+    }
+
+    #[test]
+    fn heartbeat_roundtrips_and_rejects_corruption() {
+        let path = temp_path("heartbeat");
+        let hb = Heartbeat {
+            worker: 3,
+            pid: 4242,
+            seq: 17,
+            eval: 905,
+            tasks_done: 5,
+            done: false,
+        };
+        hb.save(&path).unwrap();
+        assert_eq!(Heartbeat::load(&path), Some(hb.clone()));
+        // A final beat overwrites the previous one atomically.
+        let last = Heartbeat { seq: 18, done: true, ..hb };
+        last.save(&path).unwrap();
+        assert_eq!(Heartbeat::load(&path), Some(last));
+        // Corruption is "no beat", never garbage.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] = bytes[mid].wrapping_add(1);
+        fs::write(&path, &bytes).unwrap();
+        assert!(Heartbeat::load(&path).is_none());
+        let _ = fs::remove_file(&path);
+        assert!(Heartbeat::load(&path).is_none(), "missing file is no beat");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What to break at a fault site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,16 @@ pub enum FaultKind {
     /// `catch_unwind` cannot catch this — it simulates a `kill -9` at a
     /// probed point). Handled inside [`tick`] itself.
     Exit,
+    /// Crash a *worker process* (exercises the orchestrator's crash
+    /// detection and restart path). Unlike [`FaultKind::Exit`], the tick
+    /// fires in the supervisor — at the `worker` site, once per spawn —
+    /// and the supervisor translates it into a directive for the child,
+    /// which aborts after its first completed shard task.
+    Kill,
+    /// Hang a *worker process*: the child stops emitting heartbeats and
+    /// parks forever, so only the supervisor's heartbeat deadline can
+    /// reclaim it. Ticked at the `worker` site like [`FaultKind::Kill`].
+    Hang,
 }
 
 impl FaultKind {
@@ -52,6 +63,8 @@ impl FaultKind {
             "nan" => Some(FaultKind::Nan),
             "corrupt" => Some(FaultKind::Corrupt),
             "exit" => Some(FaultKind::Exit),
+            "kill" => Some(FaultKind::Kill),
+            "hang" => Some(FaultKind::Hang),
             _ => None,
         }
     }
@@ -157,6 +170,19 @@ pub fn plan_active() -> bool {
     })
 }
 
+/// Process-wide count of `eval`-site probes, independent of any fault
+/// plan and shared across threads: a cheap liveness/progress signal. The
+/// orchestrator's heartbeat emitter reports it so a supervisor can see
+/// *which* evaluation a worker is on, not merely that it is alive.
+static EVAL_ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+/// Total `fault::tick("eval")` probes this process has executed — the
+/// number of supervised evaluations started, counted even when no fault
+/// plan is installed.
+pub fn eval_ordinal() -> u64 {
+    EVAL_ORDINAL.load(Ordering::Relaxed)
+}
+
 /// Probe a fault site: bump its per-thread counter and return the fault
 /// scheduled for this visit, if any. Call exactly once per guarded
 /// operation.
@@ -165,6 +191,9 @@ pub fn plan_active() -> bool {
 /// immediately (exit code [`INJECTED_EXIT_CODE`]), simulating a hard kill
 /// that no `catch_unwind` can absorb — only a checkpoint survives it.
 pub fn tick(site: &str) -> Option<FaultKind> {
+    if site == "eval" {
+        EVAL_ORDINAL.fetch_add(1, Ordering::Relaxed);
+    }
     let hit = STATE.with(|s| {
         let mut state = s.borrow_mut();
         let state = state.get_or_insert_with(|| FaultState {
@@ -274,6 +303,30 @@ mod tests {
         );
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse("  ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_worker_fault_kinds() {
+        let plan = FaultPlan::parse("kill@worker:2,hang@worker:3").unwrap();
+        assert_eq!(
+            plan.scheduled.get(&("worker".into(), 2)),
+            Some(&FaultKind::Kill)
+        );
+        assert_eq!(
+            plan.scheduled.get(&("worker".into(), 3)),
+            Some(&FaultKind::Hang)
+        );
+    }
+
+    #[test]
+    fn eval_ordinal_counts_eval_ticks_without_a_plan() {
+        clear();
+        let before = eval_ordinal();
+        tick("eval");
+        tick("eval");
+        // The counter is process-global and other tests may tick
+        // concurrently, so assert monotonicity, not an exact delta.
+        assert!(eval_ordinal() >= before + 2);
     }
 
     #[test]

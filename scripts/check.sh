@@ -58,6 +58,28 @@ diff /tmp/automc-resume-ref.out /tmp/automc-resume-res.out
 echo "kill/resume smoke passed"
 
 # ---------------------------------------------------------------------------
+# Orchestrator smoke: shard the same pipeline across two supervised worker
+# processes with an injected worker crash (kill@worker:1 — the first spawn
+# exits after its first completed task). The supervisor must log the
+# restart, the run must complete, and stdout must be byte-identical to the
+# single-process reference above. The workers pull the corpus/embedding
+# artifacts from the reference store (read-only shared fallback), so this
+# stage costs seconds, not another full run.
+# ---------------------------------------------------------------------------
+echo "== orchestrator smoke =="
+orch_dir=$(mktemp -d)
+trap 'rm -rf "$ref_dir" "$res_dir" "$orch_dir"' EXIT
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$orch_dir" AUTOMC_SHARED_RESULTS_DIR="$ref_dir" \
+    AUTOMC_FAULTS="kill@worker:1" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --seed 7 --workers 2 \
+    >/tmp/automc-orch.out 2>/tmp/automc-orch.err
+grep -q 'injected kill' /tmp/automc-orch.err
+grep -q 'retry 1/' /tmp/automc-orch.err
+diff /tmp/automc-resume-ref.out /tmp/automc-orch.out
+echo "orchestrator smoke passed"
+
+# ---------------------------------------------------------------------------
 # Memo equivalence smoke: the prefix-model cache must not change a single
 # output byte. Run the smallest Table 2 pipeline with memoization off,
 # then on (cold), then on again in the same results dir (--fresh discards
@@ -68,7 +90,7 @@ echo "kill/resume smoke passed"
 echo "== memo equivalence smoke =="
 moff_dir=$(mktemp -d)
 mon_dir=$(mktemp -d)
-trap 'rm -rf "$ref_dir" "$res_dir" "$moff_dir" "$mon_dir"' EXIT
+trap 'rm -rf "$ref_dir" "$res_dir" "$orch_dir" "$moff_dir" "$mon_dir"' EXIT
 AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$moff_dir" \
     cargo run --release --offline -p automc-bench --bin table2 -- \
     --smoke --fresh --seed 9 --memo off >/tmp/automc-memo-off.out 2>/dev/null
@@ -99,7 +121,8 @@ echo "memo equivalence smoke passed"
 echo "== recovery-path lint =="
 lint_fail=0
 for f in crates/tensor/src/fault.rs crates/core/src/journal.rs \
-         crates/bench/src/cache.rs crates/compress/src/memo.rs; do
+         crates/bench/src/cache.rs crates/compress/src/memo.rs \
+         crates/bench/src/orchestrator.rs; do
     nontest=$(sed '/^\(#\[cfg(test)\]\|mod tests\)/,$d' "$f")
     if echo "$nontest" | grep -n 'unwrap()' >/dev/null; then
         echo "lint: unwrap() in recovery path $f:"
