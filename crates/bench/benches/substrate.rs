@@ -1,9 +1,18 @@
 //! Microbenchmarks of the substrate the experiments stand on: tensor
 //! kernels, layer passes, and full-model forward/backward.
 //!
-//! The `parallel_kernels` group additionally times the threaded kernels
-//! at 1 thread vs. the full pool and writes the raw medians to
-//! `target/automc-results/BENCH_kernels.json` for machine consumption.
+//! The `parallel_kernels` group additionally times the kernels at
+//! 1 thread vs. `auto` across several sizes (plus the pre-blocked `ikj`
+//! reference kernel, for machine-speed normalisation) and writes
+//! best-of-N timings to `BENCH_kernels.json` at the repo root for the
+//! `kernel_gate` bin (check.sh's kernels stage) to compare against the
+//! committed `BENCH_baseline.json`.
+//!
+//! Modes:
+//! * default — full run: criterion display benches + 31-round timings.
+//! * `AUTOMC_BENCH_QUICK=1` — skip the display benches, 15-round
+//!   timings only (check.sh's regression gate).
+//! * `--test` (cargo test) — every closure runs once as a smoke test.
 
 use automc_json::{obj, ToJson};
 use automc_models::resnet;
@@ -14,7 +23,15 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
+/// Quick mode: medians only, few iterations (the check.sh kernels stage).
+fn quick_mode() -> bool {
+    std::env::var("AUTOMC_BENCH_QUICK").map_or(false, |v| v != "0" && !v.is_empty())
+}
+
 fn bench_matmul(c: &mut Criterion) {
+    if quick_mode() {
+        return;
+    }
     let mut rng = rng_from_seed(1);
     let a = Tensor::randn(&[64, 64], 1.0, &mut rng);
     let b = Tensor::randn(&[64, 64], 1.0, &mut rng);
@@ -24,6 +41,9 @@ fn bench_matmul(c: &mut Criterion) {
 }
 
 fn bench_conv_forward_backward(c: &mut Criterion) {
+    if quick_mode() {
+        return;
+    }
     let mut rng = rng_from_seed(2);
     let mut conv = Conv2d::new(8, 16, 3, 3, 1, 1, false, &mut rng);
     let x = Tensor::randn(&[8, 8, 8, 8], 1.0, &mut rng);
@@ -38,6 +58,9 @@ fn bench_conv_forward_backward(c: &mut Criterion) {
 }
 
 fn bench_resnet_pass(c: &mut Criterion) {
+    if quick_mode() {
+        return;
+    }
     let mut rng = rng_from_seed(3);
     let mut net = resnet(20, 4, 10, (3, 8, 8), &mut rng);
     let x = Tensor::randn(&[16, 3, 8, 8], 1.0, &mut rng);
@@ -52,6 +75,9 @@ fn bench_resnet_pass(c: &mut Criterion) {
 }
 
 fn bench_svd(c: &mut Criterion) {
+    if quick_mode() {
+        return;
+    }
     let mut rng = rng_from_seed(4);
     let a = Tensor::randn(&[32, 72], 1.0, &mut rng);
     c.bench_function("truncated_svd_32x72_r8", |bch| {
@@ -59,88 +85,161 @@ fn bench_svd(c: &mut Criterion) {
     });
 }
 
-/// Median wall-clock of `iters` runs of `f`, in nanoseconds.
-fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
-    let mut samples: Vec<u64> = (0..iters)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_nanos() as u64
-        })
-        .collect();
-    samples.sort_unstable();
-    samples[samples.len() / 2]
+/// Wall-clock of one run of `f`, in nanoseconds.
+fn time_ns(f: impl FnOnce()) -> u64 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos() as u64
+}
+
+/// Square matmul sizes timed in both thread modes. 48 sits below the
+/// adaptive parallel threshold (auto must equal serial), 192 and 320 sit
+/// above it — together they check that `auto` never loses to serial at
+/// any size.
+const MATMUL_SIZES: [usize; 3] = [48, 192, 320];
+
+/// The pre-blocked serial `ikj` kernel, kept verbatim as an in-process
+/// reference. The gate compares ratios against this instead of absolute
+/// nanoseconds: shared runners drift ~2x in absolute speed between runs,
+/// but the packed/ikj ratio on the same matrices in the same process is
+/// stable.
+fn reference_ikj(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let n = b.dims()[1];
+    let mut c = Tensor::zeros(&[m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..m {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            let b_row = &bd[p * n..(p + 1) * n];
+            let c_row = &mut cd[i * n..(i + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
 }
 
 fn bench_parallel_kernels(c: &mut Criterion) {
     let mut rng = rng_from_seed(5);
-    let a = Tensor::randn(&[192, 192], 1.0, &mut rng);
-    let b = Tensor::randn(&[192, 192], 1.0, &mut rng);
+    let mats: Vec<(usize, Tensor, Tensor)> = MATMUL_SIZES
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                Tensor::randn(&[s, s], 1.0, &mut rng),
+                Tensor::randn(&[s, s], 1.0, &mut rng),
+            )
+        })
+        .collect();
     let mut conv = Conv2d::new(8, 16, 3, 3, 1, 1, false, &mut rng);
     let x = Tensor::randn(&[8, 8, 12, 12], 1.0, &mut rng);
     let y = conv.forward(&x, true);
     let g = Tensor::ones(y.dims());
 
-    for (tag, threads) in [("t1", 1), ("auto", 0)] {
-        let run = move |f: &mut dyn FnMut()| {
-            if threads == 1 {
-                with_threads(1, || f());
-            } else {
-                f();
+    if !quick_mode() {
+        for (tag, threads) in [("t1", 1), ("auto", 0)] {
+            let run = move |f: &mut dyn FnMut()| {
+                if threads == 1 {
+                    with_threads(1, || f());
+                } else {
+                    f();
+                }
+            };
+            for (s, a, b) in &mats {
+                c.bench_function(format!("par_matmul_{s}_{tag}"), |bch| {
+                    bch.iter(|| run(&mut || drop(black_box(matmul(black_box(a), black_box(b))))))
+                });
             }
-        };
-        c.bench_function(format!("par_matmul_192_{tag}"), |bch| {
-            bch.iter(|| run(&mut || drop(black_box(matmul(black_box(&a), black_box(&b))))))
-        });
-        c.bench_function(format!("par_conv3x3_b8_fwd_{tag}"), |bch| {
-            bch.iter(|| run(&mut || drop(black_box(conv.forward(black_box(&x), true)))))
-        });
-        c.bench_function(format!("par_conv3x3_b8_bwd_{tag}"), |bch| {
-            bch.iter(|| run(&mut || drop(black_box(conv.backward(black_box(&g))))))
-        });
-    }
-
-    // Machine-readable medians for the speedup tracking script. Keep the
-    // sample count tiny under `cargo test` (bench targets double as smoke
-    // tests there).
-    let test_mode = std::env::args().any(|arg| arg == "--test");
-    let iters = if test_mode { 3 } else { 31 };
-    let mut entries = Vec::new();
-    for (tag, threads) in [("t1", 1usize), ("auto", 0)] {
-        let eff_threads = if threads == 1 { 1 } else { current_threads() };
-        let measure = |f: &mut dyn FnMut()| -> u64 {
-            if threads == 1 {
-                with_threads(1, || median_ns(iters, &mut *f))
-            } else {
-                median_ns(iters, &mut *f)
-            }
-        };
-        let mm = measure(&mut || drop(black_box(matmul(black_box(&a), black_box(&b)))));
-        let cf = measure(&mut || drop(black_box(conv.forward(black_box(&x), true))));
-        let cb = measure(&mut || drop(black_box(conv.backward(black_box(&g)))));
-        for (name, ns) in
-            [("matmul_192", mm), ("conv3x3_b8_fwd", cf), ("conv3x3_b8_bwd", cb)]
-        {
-            entries.push(obj(vec![
-                ("kernel", name.to_json()),
-                ("mode", tag.to_json()),
-                ("threads", eff_threads.to_json()),
-                ("median_ns", ns.to_json()),
-            ]));
+            c.bench_function(format!("par_conv3x3_b8_fwd_{tag}"), |bch| {
+                bch.iter(|| run(&mut || drop(black_box(conv.forward(black_box(&x), true)))))
+            });
+            c.bench_function(format!("par_conv3x3_b8_bwd_{tag}"), |bch| {
+                bch.iter(|| run(&mut || drop(black_box(conv.backward(black_box(&g))))))
+            });
         }
     }
+
+    // Machine-readable timings for the kernel_gate regression check. Keep
+    // the sample count tiny under `cargo test` (bench targets double as
+    // smoke tests there) and small in quick mode.
+    //
+    // Two measurement choices defend the gate against the ~2x bursty
+    // noise of shared runners: every (kernel, mode) pair is sampled once
+    // per *round* (interleaved, so a noise burst degrades all pairs
+    // instead of poisoning one pair's whole block), and the reported
+    // statistic is the best (minimum) sample — the least-disturbed run.
+    let test_mode = std::env::args().any(|arg| arg == "--test");
+    let iters = if test_mode {
+        3
+    } else if quick_mode() {
+        15
+    } else {
+        31
+    };
+    let mut samples: Vec<(String, &'static str, usize, Vec<u64>)> = Vec::new();
+    // Fixed row order: ref, then per mode: matmuls + conv fwd/bwd.
+    samples.push(("ref_ikj_192".to_string(), "ref", 1, Vec::new()));
+    for (tag, threads) in [("t1", 1usize), ("auto", 0)] {
+        let eff = if threads == 1 { 1 } else { current_threads() };
+        for (s, _, _) in &mats {
+            samples.push((format!("matmul_{s}"), tag, eff, Vec::new()));
+        }
+        samples.push(("conv3x3_b8_fwd".to_string(), tag, eff, Vec::new()));
+        samples.push(("conv3x3_b8_bwd".to_string(), tag, eff, Vec::new()));
+    }
+    for _ in 0..iters {
+        let mut round: Vec<u64> = Vec::with_capacity(samples.len());
+        {
+            let (_, a, b) = &mats[1]; // the 192 pair
+            round.push(time_ns(|| drop(black_box(reference_ikj(black_box(a), black_box(b))))));
+        }
+        for (_, threads) in [("t1", 1usize), ("auto", 0)] {
+            let run = |f: &mut dyn FnMut() -> u64| -> u64 {
+                if threads == 1 {
+                    with_threads(1, || f())
+                } else {
+                    f()
+                }
+            };
+            for (_, a, b) in &mats {
+                round.push(
+                    run(&mut || time_ns(|| drop(black_box(matmul(black_box(a), black_box(b)))))),
+                );
+            }
+            round.push(run(&mut || time_ns(|| drop(black_box(conv.forward(black_box(&x), true))))));
+            round.push(run(&mut || time_ns(|| drop(black_box(conv.backward(black_box(&g)))))));
+        }
+        for (slot, ns) in samples.iter_mut().zip(&round) {
+            slot.3.push(*ns);
+        }
+    }
+    let entries: Vec<_> = samples
+        .iter()
+        .map(|(kernel, mode, threads, ns)| {
+            let best = ns.iter().copied().min().unwrap_or(0);
+            obj(vec![
+                ("kernel", kernel.as_str().to_json()),
+                ("mode", (*mode).to_json()),
+                ("threads", (*threads).to_json()),
+                ("best_ns", best.to_json()),
+            ])
+        })
+        .collect();
     let report = obj(vec![
         ("bench", "parallel_kernels".to_json()),
         ("iters", iters.to_json()),
         ("results", automc_json::Value::Arr(entries)),
     ]);
-    let dir = automc_bench::cache::cache_dir();
-    let path = dir.join("BENCH_kernels.json");
-    if std::fs::create_dir_all(&dir).is_ok() {
-        match std::fs::write(&path, report.to_string_pretty()) {
-            Ok(()) => eprintln!("[bench] wrote {}", path.display()),
-            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
-        }
+    // Repo root, where the committed BENCH_baseline.json lives.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_kernels.json");
+    match std::fs::write(&path, report.to_string_pretty()) {
+        Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
 

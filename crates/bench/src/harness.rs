@@ -47,9 +47,14 @@ pub fn resume_enabled() -> bool {
 
 /// The cache fingerprint of a prepared-task run: every cached artifact
 /// derived from a `PreparedTask` records this and is a miss under any
-/// other seed or scale configuration.
+/// other seed, scale configuration, or kernel numerics version (cached
+/// rows are float results of the tensor kernels).
 pub fn run_fingerprint(scale: &ExperimentScale, seed: u64) -> String {
-    format!("s{seed}|{}", scale.fingerprint())
+    format!(
+        "k{}|s{seed}|{}",
+        automc_tensor::KERNEL_NUMERICS_VERSION,
+        scale.fingerprint()
+    )
 }
 
 /// One row of Table 2 / Table 3.

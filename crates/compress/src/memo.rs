@@ -168,6 +168,11 @@ pub(crate) fn prefix_keys(
 ) -> Vec<u64> {
     let mut h = Fnv::new();
     h.write(b"automc-memo-v1");
+    // Kernel numerics version: memoised metrics are float outputs of the
+    // tensor kernels, so entries computed under different kernel numerics
+    // must never collide. (`step_rng` stays unsalted — RNG streams are
+    // independent of kernel numerics and must survive bumps.)
+    h.write_u64(automc_tensor::KERNEL_NUMERICS_VERSION);
     h.write_u64(model_fingerprint(base_model));
     h.write_u64(dataset_fingerprint(train_set));
     h.write_u64(dataset_fingerprint(eval_set));

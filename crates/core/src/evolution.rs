@@ -113,7 +113,7 @@ pub fn evolution_search_journaled(
 ) -> SearchHistory {
     let mut words = ctx.fingerprint_words().to_vec();
     words.extend([cfg.population as u64, cfg.mutation_rate.to_bits() as u64]);
-    let fingerprint = journal::fingerprint("AutoMC-evolution-v2", &words, rng.state());
+    let fingerprint = journal::fingerprint("AutoMC-evolution-v3", &words, rng.state());
     let loaded = if opts.resume {
         opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
     } else {

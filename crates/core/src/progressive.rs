@@ -70,7 +70,7 @@ fn run_fingerprint(
     rng_state: [u64; 4],
 ) -> u64 {
     let mut buf: Vec<u8> = Vec::new();
-    buf.extend_from_slice(b"AutoMC-progressive-v2");
+    buf.extend_from_slice(b"AutoMC-progressive-v3");
     for w in [
         ctx.space.len() as u64,
         ctx.budget.units,

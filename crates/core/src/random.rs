@@ -32,7 +32,7 @@ pub fn random_search_journaled(
     opts: &JournalOptions,
 ) -> SearchHistory {
     let fingerprint =
-        journal::fingerprint("AutoMC-random-v2", &ctx.fingerprint_words(), rng.state());
+        journal::fingerprint("AutoMC-random-v3", &ctx.fingerprint_words(), rng.state());
     let loaded = if opts.resume {
         opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
     } else {

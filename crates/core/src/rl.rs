@@ -227,7 +227,7 @@ pub fn rl_search_journaled(
         cfg.lr.to_bits() as u64,
         cfg.baseline_decay.to_bits() as u64,
     ]);
-    let fingerprint = journal::fingerprint("AutoMC-rl-v2", &words, rng.state());
+    let fingerprint = journal::fingerprint("AutoMC-rl-v3", &words, rng.state());
     let loaded = if opts.resume {
         opts.path.as_deref().and_then(|p| journal::load(p, fingerprint))
     } else {

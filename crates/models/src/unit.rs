@@ -243,6 +243,21 @@ impl ConvBnRelu {
 
 impl Layer for ConvBnRelu {
     fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train {
+            // Eval: fold the batch-norm (and ReLU) into the convolution's
+            // post-matmul write — one GEMM per batch item with a fused
+            // scale/shift epilogue, no separate normalisation pass, no
+            // intermediate activation tensor, and no ReLU mask (backward
+            // requires a train-mode forward anyway).
+            let (scale, shift) = self.bn.fold_eval();
+            return match &mut self.kernel {
+                ConvKernel::Full(c) => c.forward_fused_bn(x, &scale, &shift, self.with_relu),
+                ConvKernel::Factored { basis, point, .. } => {
+                    let mid = basis.forward(x, false);
+                    point.forward_fused_bn(&mid, &scale, &shift, self.with_relu)
+                }
+            };
+        }
         let conv_out = match &mut self.kernel {
             ConvKernel::Full(c) => c.forward(x, train),
             ConvKernel::Factored { basis, point, .. } => {
@@ -598,6 +613,52 @@ mod tests {
         let x = Tensor::randn(&[2, 2, 4, 4], 1.0, &mut rng);
         automc_tensor::nn::gradcheck::check_input_grad(&mut u, &x, 0.08);
         automc_tensor::nn::gradcheck::check_param_grads(&mut u, &x, 0.08);
+    }
+
+    /// The fused eval path (BN folded into the conv's write epilogue) must
+    /// agree with running conv, batch-norm and ReLU as separate layers.
+    #[test]
+    fn eval_fused_path_matches_composed_layers() {
+        let mut rng = rng_from_seed(113);
+        let mut u = ConvBnRelu::new(3, 6, 3, 1, 1, true, &mut rng);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        // Move the running stats off their identity init so the fold is
+        // non-trivial.
+        u.forward(&x, true);
+        u.forward(&x, true);
+        let fused = u.forward(&x, false);
+        let mut parts = u.clone();
+        let ConvKernel::Full(c) = &mut parts.kernel else {
+            panic!("expected full kernel")
+        };
+        let conv_out = c.forward(&x, false);
+        let composed = parts.bn.forward(&conv_out, false).map(|v| v.max(0.0));
+        assert_eq!(fused.dims(), composed.dims());
+        for (a, b) in fused.data().iter().zip(composed.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    /// Same agreement for a factored kernel (fold lands on the pointwise
+    /// conv) and without ReLU.
+    #[test]
+    fn eval_fused_path_matches_composed_layers_factored() {
+        let mut rng = rng_from_seed(114);
+        let mut u = ConvBnRelu::new(3, 6, 3, 1, 1, false, &mut rng);
+        u.factorize(4, None);
+        let x = Tensor::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+        u.forward(&x, true);
+        let fused = u.forward(&x, false);
+        let mut parts = u.clone();
+        let ConvKernel::Factored { basis, point, .. } = &mut parts.kernel else {
+            panic!("expected factored kernel")
+        };
+        let mid = basis.forward(&x, false);
+        let conv_out = point.forward(&mid, false);
+        let composed = parts.bn.forward(&conv_out, false);
+        for (a, b) in fused.data().iter().zip(composed.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 
     #[test]

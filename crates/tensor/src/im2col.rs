@@ -178,6 +178,114 @@ mod tests {
         }
     }
 
+    /// Brute-force im2col by the defining index formula, for checking the
+    /// strided/windowed production code on awkward geometries.
+    fn im2col_reference(img: &Tensor, g: ConvGeom) -> Vec<f32> {
+        let (oh, ow) = (g.out_h(), g.out_w());
+        let mut cols = vec![0.0f32; g.in_c * g.kh * g.kw * oh * ow];
+        for c in 0..g.in_c {
+            for ky in 0..g.kh {
+                for kx in 0..g.kw {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                            let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                            let row = (c * g.kh + ky) * g.kw + kx;
+                            let v = if iy >= 0
+                                && iy < g.in_h as isize
+                                && ix >= 0
+                                && ix < g.in_w as isize
+                            {
+                                img.data()[(c * g.in_h + iy as usize) * g.in_w + ix as usize]
+                            } else {
+                                0.0
+                            };
+                            cols[row * oh * ow + oy * ow + ox] = v;
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    /// Strided lowering with stride remainders that crop the bottom/right
+    /// edge asymmetrically (`(in + 2·pad − k) % stride ≠ 0`), checked
+    /// against the defining formula element by element.
+    #[test]
+    fn strided_asymmetric_coverage_matches_reference() {
+        let mut rng = rng_from_seed(20);
+        for (in_h, in_w, k, stride, pad) in
+            [(5, 6, 3, 2, 1), (7, 5, 3, 2, 0), (6, 9, 2, 3, 1), (8, 8, 3, 3, 2)]
+        {
+            let g = ConvGeom { in_c: 2, in_h, in_w, kh: k, kw: k, stride, pad };
+            let img = Tensor::randn(&[2, in_h, in_w], 1.0, &mut rng);
+            let cols = im2col(&img, k, k, stride, pad);
+            assert_eq!(
+                cols.data(),
+                &im2col_reference(&img, g)[..],
+                "geometry {in_h}x{in_w} k{k} s{stride} p{pad}"
+            );
+        }
+    }
+
+    /// Kernels larger than the (padded-in-one-direction) input extent:
+    /// most of each window is zero padding, and the output still has the
+    /// closed-form size.
+    #[test]
+    fn kernel_larger_than_input_matches_reference() {
+        let mut rng = rng_from_seed(21);
+        for (in_h, in_w, k, pad) in [(2, 2, 3, 1), (2, 3, 5, 2), (1, 4, 3, 1)] {
+            let g = ConvGeom { in_c: 1, in_h, in_w, kh: k, kw: k, stride: 1, pad };
+            let img = Tensor::randn(&[1, in_h, in_w], 1.0, &mut rng);
+            let cols = im2col(&img, k, k, 1, pad);
+            assert_eq!(cols.dims()[1], g.out_h() * g.out_w());
+            assert_eq!(
+                cols.data(),
+                &im2col_reference(&img, g)[..],
+                "geometry {in_h}x{in_w} k{k} p{pad}"
+            );
+        }
+    }
+
+    /// Round-trip property: `col2im(im2col(x))` equals `x` weighted by how
+    /// many sliding windows cover each pixel. The overlap counts are
+    /// obtained by round-tripping an all-ones image; integer-valued test
+    /// data keeps every float addition exact, so the check is `==`.
+    #[test]
+    fn col2im_im2col_roundtrip_is_overlap_weighted_input() {
+        let mut rng = rng_from_seed(22);
+        for (in_h, in_w, k, stride, pad) in
+            [(6, 6, 3, 1, 1), (5, 7, 3, 2, 1), (4, 4, 2, 2, 0), (2, 2, 3, 1, 1), (6, 5, 3, 3, 2)]
+        {
+            let dims = [2usize, in_h, in_w];
+            // Small integers: exact under f32 addition and multiplication.
+            let x = Tensor::randn(&[2, in_h, in_w], 1.0, &mut rng)
+                .map(|v| (v * 4.0).round().clamp(-8.0, 8.0));
+            let counts = col2im(
+                &im2col(&Tensor::ones(&dims), k, k, stride, pad),
+                &dims,
+                k,
+                k,
+                stride,
+                pad,
+            );
+            let round = col2im(&im2col(&x, k, k, stride, pad), &dims, k, k, stride, pad);
+            for i in 0..x.numel() {
+                assert_eq!(
+                    round.data()[i],
+                    counts.data()[i] * x.data()[i],
+                    "pixel {i} of {in_h}x{in_w} k{k} s{stride} p{pad}"
+                );
+            }
+            // Interior pixels of a stride-1 lowering are covered by all
+            // k² windows; sanity-check the counts themselves.
+            if stride == 1 && pad == 1 && k == 3 && in_h > 2 && in_w > 2 {
+                assert_eq!(counts.data()[(in_h / 2) * in_w + in_w / 2], (k * k) as f32);
+            }
+        }
+    }
+
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining

@@ -64,6 +64,15 @@ pub use tensor::Tensor;
 pub use im2col::{col2im, im2col};
 pub use matmul::{matmul, matmul_at_b, matmul_a_bt};
 
+/// Version of the kernel *numerics* — bumped whenever a kernel change can
+/// alter result bits (e.g. a new accumulation order), even though results
+/// stay deterministic at any thread count. Downstream fingerprints (memo
+/// keys, result-cache keys, search journal tags) fold this in so cached
+/// artifacts from older numerics are never mistaken for current ones.
+/// History: 2 = parallel execution layer; 3 = packed/blocked microkernels
+/// (`matmul_a_bt` switched to a fixed 4-lane combine order).
+pub const KERNEL_NUMERICS_VERSION: u64 = 3;
+
 /// Convenience alias for the RNG used throughout the workspace.
 ///
 /// Every stochastic component (weight init, data generation, search) takes

@@ -1,22 +1,347 @@
-//! Blocked matrix multiplication kernels.
+//! Packed, cache-blocked matrix multiplication kernels.
 //!
 //! These three kernels cover every contraction the layers need:
 //! `C = A·B` (forward), `C = Aᵀ·B` (weight gradients), `C = A·Bᵀ`
-//! (input gradients). The inner loops are written in `ikj` order so the
-//! innermost loop streams contiguously over both `B` and `C` rows, which the
-//! compiler auto-vectorises.
+//! (input gradients).
 //!
-//! Large contractions are partitioned over rows of `C` and run on the
-//! [`crate::par`] pool. Each task writes a disjoint block of output rows
-//! and accumulates every element in exactly the serial order, so results
-//! are bitwise identical at any thread count. Contractions under
-//! [`PAR_MIN_FLOPS`] stay on the calling thread — below that size the
-//! hand-off costs more than it saves.
+//! # Kernel architecture
+//!
+//! `matmul` and `matmul_at_b` are built on a fixed-size **register
+//! microtile**: [`MR`]×[`NR`] output elements are accumulated in a
+//! `[[f32; NR]; MR]` array the compiler keeps in SIMD registers. For each
+//! contraction step the microkernel broadcasts one packed A value per row
+//! and multiplies it into a contiguous NR-wide panel row of packed B, so
+//! the inner loop autovectorises into broadcast–multiply–add over whole
+//! vectors with `MR·NR` independent accumulator chains.
+//!
+//! **Packing.** B is repacked once per call into NR-wide column panels
+//! (`panel[p][lane] = B[p][j0+lane]`, zero-padded at the right edge), so
+//! the microkernel streams it contiguously; the one packing pass is
+//! amortised across every row block — including all parallel row-block
+//! tasks, which share the same read-only packed buffer. A is packed one
+//! MR-row tile at a time (`tile[p][r] = A[i0+r][p]`, zero-padded), small
+//! enough to stay L1-resident across the whole panel sweep. Pack buffers
+//! are thread-local and reused across calls, so steady-state training
+//! does not allocate per matmul.
+//!
+//! **Determinism.** Every output element accumulates its `k` products in
+//! strictly ascending contraction order through a single accumulator
+//! chain — the same order as the historical `ikj` kernels — so `matmul`
+//! and `matmul_at_b` are *bitwise identical* to their pre-blocked
+//! versions, at any thread count, on either the packed or the small-size
+//! fallback path. `matmul_a_bt` uses a 4-lane strided dot product (see
+//! [`dot4`]) with a fixed combine order; its results are reproducible at
+//! any thread count but differ from the old strictly-serial dot, which is
+//! why kernel-sensitive fingerprints carry
+//! [`crate::KERNEL_NUMERICS_VERSION`].
+//!
+//! **Parallelism.** Large contractions are partitioned over MR-aligned
+//! row blocks of `C` and run on the [`crate::par`] pool. The split is
+//! planned by [`row_tasks`]: each task must clear a per-contraction FLOP
+//! floor (calibrated so a pool hand-off never loses to staying serial),
+//! and a thread budget of 1 short-circuits to a zero-overhead serial call
+//! with no pool hand-off or chunk bookkeeping at all.
 
 use crate::{par, Tensor};
 
-/// Minimum `2·m·k·n` FLOPs before a contraction is worth partitioning.
-pub const PAR_MIN_FLOPS: usize = 1 << 18;
+/// Microtile rows: output rows accumulated per microkernel invocation.
+pub const MR: usize = 4;
+/// Microtile columns: output columns per B panel (SIMD-friendly width).
+pub const NR: usize = 8;
+
+/// Per-task FLOP floor for `matmul` row-block tasks.
+pub const TASK_FLOPS_AB: usize = 1 << 19;
+/// Per-task FLOP floor for `matmul_at_b` row-block tasks.
+pub const TASK_FLOPS_AT_B: usize = 1 << 19;
+/// Per-task FLOP floor for `matmul_a_bt` row-block tasks (the dot kernel
+/// has no packing step, so smaller tasks already amortise the hand-off).
+pub const TASK_FLOPS_A_BT: usize = 1 << 18;
+
+/// Below this many FLOPs the packed kernels fall back to the plain `ikj`
+/// loop: packing overhead would dominate. The fallback accumulates in the
+/// same strictly ascending order, so the two paths are bitwise identical.
+const PACK_MIN_FLOPS: usize = 1 << 13;
+
+/// Plan the number of row-block tasks for a contraction writing `rows`
+/// output rows with `flops` total work, quantised to `quantum` rows per
+/// block. Returns 1 (serial) unless every task clears `floor` FLOPs and
+/// the thread budget allows more. The plan depends only on the shape and
+/// the budget — never on scheduling — and partitioning never changes
+/// result bits, so `auto` thread mode stays deterministic.
+pub fn row_tasks(rows: usize, quantum: usize, flops: usize, floor: usize, threads: usize) -> usize {
+    if threads <= 1 || rows == 0 {
+        return 1;
+    }
+    let by_work = flops / floor.max(1);
+    let by_rows = rows.div_ceil(quantum.max(1));
+    by_work.min(by_rows).min(threads).max(1)
+}
+
+// ------------------------------------------------------------------------
+// Pack-buffer scratch (thread-local, reused across calls)
+// ------------------------------------------------------------------------
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Reusable B-panel pack buffer. Taken (not borrowed) for the duration
+    /// of one kernel call so re-entrant calls degrade to a fresh alloc
+    /// instead of a borrow panic.
+    static PACK_B: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+    /// Reusable A-tile pack buffer.
+    static PACK_A: Cell<Vec<f32>> = const { Cell::new(Vec::new()) };
+}
+
+fn take_pack_b() -> Vec<f32> {
+    PACK_B.with(Cell::take)
+}
+
+fn put_pack_b(buf: Vec<f32>) {
+    PACK_B.with(|c| c.set(buf));
+}
+
+fn take_pack_a() -> Vec<f32> {
+    PACK_A.with(Cell::take)
+}
+
+fn put_pack_a(buf: Vec<f32>) {
+    PACK_A.with(|c| c.set(buf));
+}
+
+// ------------------------------------------------------------------------
+// Epilogues
+// ------------------------------------------------------------------------
+
+/// What a kernel does with each finished accumulator row when writing it
+/// back to `C`. Fusing the write epilogue avoids a second pass over the
+/// output tensor (bias add, or a folded batch-norm scale/shift + ReLU).
+#[derive(Clone, Copy)]
+pub(crate) enum Epilogue<'a> {
+    /// `c = acc`.
+    Store,
+    /// `c = acc + bias[row]`.
+    Bias(&'a [f32]),
+    /// `c = scale[row]·acc + shift[row]`, optionally clamped at zero —
+    /// the folded eval-mode Conv→BatchNorm(→ReLU) write.
+    ScaleShift {
+        /// Per-output-row multiplier (`gamma·invstd` for folded BN).
+        scale: &'a [f32],
+        /// Per-output-row offset (`beta − mean·scale` for folded BN).
+        shift: &'a [f32],
+        /// Apply `max(0, ·)` after the affine map.
+        relu: bool,
+    },
+}
+
+impl Epilogue<'_> {
+    /// Write one accumulator row into `out` for absolute output row `row`.
+    #[inline]
+    pub(crate) fn write(&self, row: usize, acc: &[f32], out: &mut [f32]) {
+        match *self {
+            Epilogue::Store => out.copy_from_slice(acc),
+            Epilogue::Bias(bias) => {
+                let bv = bias[row];
+                for (o, &a) in out.iter_mut().zip(acc) {
+                    *o = a + bv;
+                }
+            }
+            Epilogue::ScaleShift { scale, shift, relu } => {
+                let (s, t) = (scale[row], shift[row]);
+                for (o, &a) in out.iter_mut().zip(acc) {
+                    let v = s * a + t;
+                    *o = if relu { v.max(0.0) } else { v };
+                }
+            }
+        }
+    }
+
+    /// Fix up one already-stored output row in place (fallback path).
+    #[inline]
+    pub(crate) fn finish_row(&self, row: usize, out: &mut [f32]) {
+        match *self {
+            Epilogue::Store => {}
+            Epilogue::Bias(bias) => {
+                let bv = bias[row];
+                for o in out.iter_mut() {
+                    *o += bv;
+                }
+            }
+            Epilogue::ScaleShift { scale, shift, relu } => {
+                let (s, t) = (scale[row], shift[row]);
+                for o in out.iter_mut() {
+                    let v = s * *o + t;
+                    *o = if relu { v.max(0.0) } else { v };
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------------
+// Packing
+// ------------------------------------------------------------------------
+
+/// Pack `B[k,n]` (row stride `n`) into NR-wide column panels:
+/// `out[panel·k·NR + p·NR + lane] = B[p][panel·NR + lane]`, zero-padded in
+/// the last panel. `k` here is the contraction length (number of B rows).
+fn pack_b_panels(bd: &[f32], k: usize, n: usize, out: &mut Vec<f32>) {
+    let panels = n.div_ceil(NR);
+    out.clear();
+    out.resize(panels * k * NR, 0.0);
+    for panel in 0..panels {
+        let j0 = panel * NR;
+        let w = NR.min(n - j0);
+        let dst = &mut out[panel * k * NR..(panel + 1) * k * NR];
+        for p in 0..k {
+            dst[p * NR..p * NR + w].copy_from_slice(&bd[p * n + j0..p * n + j0 + w]);
+        }
+    }
+}
+
+/// Pack one MR-row tile of row-major `A[m,k]`: rows `row0..row0+h` become
+/// `out[p·MR + r] = A[row0+r][p]`, with rows `h..MR` zero-padded (they
+/// contribute nothing and are never written back).
+fn pack_a_tile(ad: &[f32], k: usize, row0: usize, h: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(k * MR, 0.0);
+    for r in 0..h {
+        let a_row = &ad[(row0 + r) * k..(row0 + r + 1) * k];
+        for (p, &v) in a_row.iter().enumerate() {
+            out[p * MR + r] = v;
+        }
+    }
+}
+
+/// Pack one MR-row tile of *transposed* `A` for `Aᵀ·B`: output row `p` of
+/// `C` is column `p` of `A[m,k]`, so `out[i·MR + r] = A[i][row0+r]` with
+/// the contraction index `i` running over the `m` rows of `A`.
+fn pack_at_tile(ad: &[f32], k: usize, m: usize, row0: usize, h: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.resize(m * MR, 0.0);
+    for i in 0..m {
+        let src = &ad[i * k + row0..i * k + row0 + h];
+        let dst = &mut out[i * MR..i * MR + h];
+        dst.copy_from_slice(src);
+    }
+}
+
+// ------------------------------------------------------------------------
+// Microkernel
+// ------------------------------------------------------------------------
+
+/// The register microkernel: accumulate an MR×NR output tile over a
+/// contraction of length `k`. `ap` is a packed A tile (`k·MR`), `bp` a
+/// packed B panel (`k·NR`). Each accumulator element follows a single
+/// chain in strictly ascending `p`, so reassociation never happens and
+/// the result is bitwise equal to the scalar `ikj` loop.
+#[inline(always)]
+fn microkernel(ap: &[f32], bp: &[f32], k: usize, acc: &mut [[f32; NR]; MR]) {
+    for p in 0..k {
+        let b = &bp[p * NR..p * NR + NR];
+        let a = &ap[p * MR..p * MR + MR];
+        for r in 0..MR {
+            let av = a[r];
+            for (c, &bv) in b.iter().enumerate() {
+                acc[r][c] += av * bv;
+            }
+        }
+    }
+}
+
+/// Compute rows `first_row..first_row+rows` of a packed contraction into
+/// `out` (a block of whole `n`-wide rows). `kc` is the contraction
+/// length; `pack_tile` packs the A tile for absolute rows. Shared by the
+/// `A·B` and `Aᵀ·B` drivers — only the A packing differs.
+fn gemm_packed_rows(
+    bpack: &[f32],
+    kc: usize,
+    n: usize,
+    out: &mut [f32],
+    first_row: usize,
+    epi: Epilogue<'_>,
+    pack_tile: &dyn Fn(usize, usize, &mut Vec<f32>),
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let panels = n.div_ceil(NR);
+    let mut apack = take_pack_a();
+    let mut r0 = 0usize;
+    while r0 < rows {
+        let h = MR.min(rows - r0);
+        pack_tile(first_row + r0, h, &mut apack);
+        for panel in 0..panels {
+            let j0 = panel * NR;
+            let w = NR.min(n - j0);
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(&apack, &bpack[panel * kc * NR..(panel + 1) * kc * NR], kc, &mut acc);
+            for r in 0..h {
+                let row = r0 + r;
+                epi.write(first_row + row, &acc[r][..w], &mut out[row * n + j0..row * n + j0 + w]);
+            }
+        }
+        r0 += h;
+    }
+    put_pack_a(apack);
+}
+
+// ------------------------------------------------------------------------
+// C = A·B
+// ------------------------------------------------------------------------
+
+/// Plain `ikj` fallback for tiny contractions (same ascending
+/// accumulation order as the packed path, so bitwise identical).
+fn matmul_rows_naive(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    first_row: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    for (r, c_row) in out.chunks_exact_mut(n).enumerate() {
+        let i = first_row + r;
+        let a_row = &ad[i * k..(i + 1) * k];
+        c_row.fill(0.0);
+        for (p, &apk) in a_row.iter().enumerate() {
+            let b_row = &bd[p * n..(p + 1) * n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += apk * bv;
+            }
+        }
+        epi.finish_row(i, c_row);
+    }
+}
+
+/// Slice-level `C[m,n] = A[m,k]·B[k,n]` with a fused write epilogue,
+/// always on the calling thread. The building block `Conv2d` uses inside
+/// its batch-parallel items.
+pub(crate) fn gemm_slices(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    epi: Epilogue<'_>,
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if 2 * m * k * n < PACK_MIN_FLOPS {
+        matmul_rows_naive(ad, bd, out, 0, k, n, epi);
+        return;
+    }
+    let mut bpack = take_pack_b();
+    pack_b_panels(bd, k, n, &mut bpack);
+    gemm_packed_rows(&bpack, k, n, out, 0, epi, &|row0, h, buf| {
+        pack_a_tile(ad, k, row0, h, buf);
+    });
+    put_pack_b(bpack);
+}
 
 /// `C[m,n] = A[m,k] · B[k,n]`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -25,57 +350,39 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     debug_assert_eq!(ka, kb, "matmul: inner dims {ka} vs {kb}");
     let mut c = Tensor::zeros(&[m, n]);
     let (ad, bd) = (a.data(), b.data());
-    let threads = par::current_threads();
-    if threads <= 1 || m <= 1 || 2 * m * ka * n < PAR_MIN_FLOPS {
-        matmul_rows(ad, bd, c.data_mut(), 0, ka, n);
-    } else {
-        let chunk_rows = m.div_ceil(threads.min(m));
-        par::par_chunks_mut(c.data_mut(), chunk_rows * n, |ci, chunk| {
-            matmul_rows(ad, bd, chunk, ci * chunk_rows, ka, n);
-        });
+    if m == 0 || n == 0 {
+        return c;
     }
+    let flops = 2 * m * ka * n;
+    let tasks = row_tasks(m, MR, flops, TASK_FLOPS_AB, par::current_threads());
+    if tasks <= 1 {
+        gemm_slices(ad, bd, c.data_mut(), m, ka, n, Epilogue::Store);
+        return c;
+    }
+    // Pack B once on the calling thread; every row-block task reads the
+    // same packed panels. Blocks are MR-aligned so no microtile straddles
+    // a task boundary.
+    let mut bpack = take_pack_b();
+    pack_b_panels(bd, ka, n, &mut bpack);
+    let tiles = m.div_ceil(MR);
+    let chunk_rows = tiles.div_ceil(tasks) * MR;
+    let bref = &bpack;
+    par::par_chunks_mut(c.data_mut(), chunk_rows * n, |ci, chunk| {
+        gemm_packed_rows(bref, ka, n, chunk, ci * chunk_rows, Epilogue::Store, &|row0, h, buf| {
+            pack_a_tile(ad, ka, row0, h, buf);
+        });
+    });
+    put_pack_b(bpack);
     c
 }
 
-/// Rows `first_row ..` of `C = A·B` into `out` (a block of whole rows).
-fn matmul_rows(ad: &[f32], bd: &[f32], out: &mut [f32], first_row: usize, k: usize, n: usize) {
-    for (r, c_row) in out.chunks_exact_mut(n).enumerate() {
-        let i = first_row + r;
-        let a_row = &ad[i * k..(i + 1) * k];
-        for (p, &apk) in a_row.iter().enumerate() {
-            let b_row = &bd[p * n..(p + 1) * n];
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += apk * bv;
-            }
-        }
-    }
-}
+// ------------------------------------------------------------------------
+// C = Aᵀ·B
+// ------------------------------------------------------------------------
 
-/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
-///
-/// Avoids materialising the transpose: iterates rows of `A` and scatters.
-/// Parallel tasks own disjoint bands of output rows `p`; each element still
-/// accumulates over `i` in ascending order, exactly like the serial kernel.
-pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = (a.dims()[0], a.dims()[1]);
-    let (mb, n) = (b.dims()[0], b.dims()[1]);
-    debug_assert_eq!(m, mb, "matmul_at_b: outer dims {m} vs {mb}");
-    let mut c = Tensor::zeros(&[k, n]);
-    let (ad, bd) = (a.data(), b.data());
-    let threads = par::current_threads();
-    if threads <= 1 || k <= 1 || 2 * m * k * n < PAR_MIN_FLOPS {
-        at_b_rows(ad, bd, c.data_mut(), 0, m, k, n);
-    } else {
-        let chunk_rows = k.div_ceil(threads.min(k));
-        par::par_chunks_mut(c.data_mut(), chunk_rows * n, |ci, chunk| {
-            at_b_rows(ad, bd, chunk, ci * chunk_rows, m, k, n);
-        });
-    }
-    c
-}
-
-/// Rows `first_row ..` of `C = Aᵀ·B` into `out` (a block of whole rows).
-fn at_b_rows(
+/// Naive fallback for `C = Aᵀ·B` (row-scatter order: ascending `i` per
+/// element, bitwise identical to the packed path).
+fn at_b_rows_naive(
     ad: &[f32],
     bd: &[f32],
     out: &mut [f32],
@@ -84,6 +391,7 @@ fn at_b_rows(
     k: usize,
     n: usize,
 ) {
+    out.fill(0.0);
     let rows = out.len() / n.max(1);
     for i in 0..m {
         let a_row = &ad[i * k..(i + 1) * k];
@@ -98,9 +406,123 @@ fn at_b_rows(
     }
 }
 
+/// Slice-level `C[k,n] = Aᵀ[k,m]·B[m,n]` (A stored `[m,k]`), serial.
+pub(crate) fn gemm_at_b_slices(
+    ad: &[f32],
+    bd: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(out.len(), k * n);
+    if k == 0 || n == 0 {
+        return;
+    }
+    if 2 * m * k * n < PACK_MIN_FLOPS {
+        at_b_rows_naive(ad, bd, out, 0, m, k, n);
+        return;
+    }
+    let mut bpack = take_pack_b();
+    pack_b_panels(bd, m, n, &mut bpack);
+    gemm_packed_rows(&bpack, m, n, out, 0, Epilogue::Store, &|row0, h, buf| {
+        pack_at_tile(ad, k, m, row0, h, buf);
+    });
+    put_pack_b(bpack);
+}
+
+/// `C[k,n] = Aᵀ[k,m] · B[m,n]` where `A` is `[m,k]`.
+///
+/// Never materialises the transpose as a whole: A tiles are packed
+/// MR columns at a time. Parallel tasks own disjoint MR-aligned bands of
+/// output rows `p`; each element accumulates over `i` in ascending order,
+/// exactly like the serial (and historical) kernel.
+pub fn matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (mb, n) = (b.dims()[0], b.dims()[1]);
+    debug_assert_eq!(m, mb, "matmul_at_b: outer dims {m} vs {mb}");
+    let mut c = Tensor::zeros(&[k, n]);
+    let (ad, bd) = (a.data(), b.data());
+    if k == 0 || n == 0 {
+        return c;
+    }
+    let flops = 2 * m * k * n;
+    let tasks = row_tasks(k, MR, flops, TASK_FLOPS_AT_B, par::current_threads());
+    if tasks <= 1 {
+        gemm_at_b_slices(ad, bd, c.data_mut(), m, k, n);
+        return c;
+    }
+    let mut bpack = take_pack_b();
+    pack_b_panels(bd, m, n, &mut bpack);
+    let tiles = k.div_ceil(MR);
+    let chunk_rows = tiles.div_ceil(tasks) * MR;
+    let bref = &bpack;
+    par::par_chunks_mut(c.data_mut(), chunk_rows * n, |ci, chunk| {
+        gemm_packed_rows(bref, m, n, chunk, ci * chunk_rows, Epilogue::Store, &|row0, h, buf| {
+            pack_at_tile(ad, k, m, row0, h, buf);
+        });
+    });
+    put_pack_b(bpack);
+    c
+}
+
+// ------------------------------------------------------------------------
+// C = A·Bᵀ
+// ------------------------------------------------------------------------
+
+/// Four-lane strided dot product with a **fixed combine order**.
+///
+/// Lane `l` accumulates elements `l, l+4, l+8, …` (which the compiler
+/// vectorises into one 4-wide SIMD accumulator); the lanes are then
+/// combined as `(lane0 + lane1) + (lane2 + lane3)`, and the `len % 4`
+/// tail elements are added one by one in ascending order. This order
+/// depends only on the vector length — never on threading or
+/// partitioning — which is what keeps `matmul_a_bt` bitwise reproducible
+/// at any thread count.
+#[inline]
+fn dot4(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f32; 4];
+    let (a4, a_tail) = a.split_at(a.len() / 4 * 4);
+    let (b4, b_tail) = b.split_at(a4.len());
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    let mut sum = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (&av, &bv) in a_tail.iter().zip(b_tail) {
+        sum += av * bv;
+    }
+    sum
+}
+
+/// Rows `first_row ..` of `C = A·Bᵀ` into `out` (a block of whole rows).
+/// Both operand rows are contiguous, so each output element is one
+/// [`dot4`] over hot cache lines.
+fn a_bt_rows(ad: &[f32], bd: &[f32], out: &mut [f32], first_row: usize, n: usize, k: usize) {
+    for (r, c_row) in out.chunks_exact_mut(k).enumerate() {
+        let i = first_row + r;
+        let a_row = &ad[i * n..(i + 1) * n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            *cv = dot4(a_row, &bd[j * n..(j + 1) * n]);
+        }
+    }
+}
+
+/// Slice-level `C[m,k] = A[m,n]·Bᵀ[n,k]` (B stored `[k,n]`), serial.
+pub(crate) fn gemm_a_bt_slices(ad: &[f32], bd: &[f32], out: &mut [f32], m: usize, n: usize, k: usize) {
+    debug_assert_eq!(out.len(), m * k);
+    if m == 0 || k == 0 {
+        return;
+    }
+    a_bt_rows(ad, bd, out, 0, n, k);
+}
+
 /// `C[m,k] = A[m,n] · Bᵀ[n,k]` where `B` is `[k,n]`.
 ///
-/// Inner loop is a dot product over contiguous rows of both operands, so
+/// Inner loop is a [`dot4`] over contiguous rows of both operands, so
 /// every output element is independent and row blocks parallelise freely.
 pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = (a.dims()[0], a.dims()[1]);
@@ -108,32 +530,20 @@ pub fn matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     debug_assert_eq!(n, nb, "matmul_a_bt: inner dims {n} vs {nb}");
     let mut c = Tensor::zeros(&[m, k]);
     let (ad, bd) = (a.data(), b.data());
-    let threads = par::current_threads();
-    if threads <= 1 || m <= 1 || 2 * m * n * k < PAR_MIN_FLOPS {
+    if m == 0 || k == 0 {
+        return c;
+    }
+    let flops = 2 * m * n * k;
+    let tasks = row_tasks(m, 1, flops, TASK_FLOPS_A_BT, par::current_threads());
+    if tasks <= 1 {
         a_bt_rows(ad, bd, c.data_mut(), 0, n, k);
     } else {
-        let chunk_rows = m.div_ceil(threads.min(m));
+        let chunk_rows = m.div_ceil(tasks);
         par::par_chunks_mut(c.data_mut(), chunk_rows * k, |ci, chunk| {
             a_bt_rows(ad, bd, chunk, ci * chunk_rows, n, k);
         });
     }
     c
-}
-
-/// Rows `first_row ..` of `C = A·Bᵀ` into `out` (a block of whole rows).
-fn a_bt_rows(ad: &[f32], bd: &[f32], out: &mut [f32], first_row: usize, n: usize, k: usize) {
-    for (r, c_row) in out.chunks_exact_mut(k).enumerate() {
-        let i = first_row + r;
-        let a_row = &ad[i * n..(i + 1) * n];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            let b_row = &bd[j * n..(j + 1) * n];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
-            }
-            *cv = acc;
-        }
-    }
 }
 
 #[cfg(test)]
@@ -208,11 +618,164 @@ mod tests {
         let a = Tensor::ones(&[2, 1]);
         let b = Tensor::ones(&[1, 2]);
         assert_eq!(matmul(&a, &b).data(), &[1., 1., 1., 1.]);
+        // Zero-length contraction: all-zero output, no panic.
+        let a = Tensor::zeros(&[2, 0]);
+        let b = Tensor::zeros(&[0, 3]);
+        assert_eq!(matmul(&a, &b).data(), &[0.0; 6]);
+    }
+
+    /// Every ragged shape around the microtile edges, on both the packed
+    /// path (forced big k) and the naive fallback, against the reference.
+    #[test]
+    fn ragged_microtile_shapes_match_naive() {
+        let mut rng = rng_from_seed(7);
+        let edges = [1usize, MR - 1, MR + 1, NR - 1, NR + 1, 2 * NR + 3];
+        for &m in &edges {
+            for &n in &edges {
+                for &k in &[1usize, 3, NR + 1, 67] {
+                    let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+                    let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+                    assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-3);
+                    let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+                    assert_close(&matmul_at_b(&at, &b), &naive(&at.transpose2(), &b), 1e-3);
+                    let bt = Tensor::randn(&[n, k], 1.0, &mut rng);
+                    let abt = Tensor::randn(&[m, k], 1.0, &mut rng);
+                    assert_close(&matmul_a_bt(&abt, &bt), &naive(&abt, &bt.transpose2()), 1e-3);
+                }
+            }
+        }
+    }
+
+    /// The packed path and the small-size fallback accumulate in the same
+    /// order, so forcing either path must give identical bits.
+    #[test]
+    fn packed_and_fallback_paths_bitwise_identical() {
+        let mut rng = rng_from_seed(8);
+        // Big enough for packing, checked against the plain ikj loop.
+        let (m, k, n) = (13, 29, 21);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut packed = vec![0.0f32; m * n];
+        gemm_slices(a.data(), b.data(), &mut packed, m, k, n, Epilogue::Store);
+        let mut naive_out = vec![0.0f32; m * n];
+        matmul_rows_naive(a.data(), b.data(), &mut naive_out, 0, k, n, Epilogue::Store);
+        assert_eq!(packed, naive_out, "matmul paths diverge");
+        let at = Tensor::randn(&[k, m], 1.0, &mut rng);
+        let mut packed_t = vec![0.0f32; m * n];
+        gemm_at_b_slices(at.data(), b.data(), &mut packed_t, k, m, n);
+        let mut naive_t = vec![0.0f32; m * n];
+        at_b_rows_naive(at.data(), b.data(), &mut naive_t, 0, k, m, n);
+        assert_eq!(packed_t, naive_t, "at_b paths diverge");
+    }
+
+    #[test]
+    fn dot4_combine_order_is_fixed() {
+        // ((l0+l1)+(l2+l3)) + ascending tail — spelled out by hand.
+        let a: Vec<f32> = (0..11).map(|i| (i as f32) * 0.37 - 1.3).collect();
+        let b: Vec<f32> = (0..11).map(|i| 2.0 - (i as f32) * 0.11).collect();
+        let mut lanes = [0.0f32; 4];
+        for t in 0..2 {
+            for l in 0..4 {
+                lanes[l] += a[4 * t + l] * b[4 * t + l];
+            }
+        }
+        let mut expect = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for i in 8..11 {
+            expect += a[i] * b[i];
+        }
+        assert_eq!(dot4(&a, &b), expect);
+    }
+
+    #[test]
+    fn fused_epilogues_match_separate_passes() {
+        let mut rng = rng_from_seed(9);
+        let (m, k, n) = (6, 40, 18);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let base = matmul(&a, &b);
+        let bias: Vec<f32> = (0..m).map(|i| i as f32 * 0.5 - 1.0).collect();
+        let mut with_bias = vec![0.0f32; m * n];
+        gemm_slices(a.data(), b.data(), &mut with_bias, m, k, n, Epilogue::Bias(&bias));
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(with_bias[i * n + j], base.data()[i * n + j] + bias[i]);
+            }
+        }
+        let scale: Vec<f32> = (0..m).map(|i| 0.3 + i as f32 * 0.1).collect();
+        let shift: Vec<f32> = (0..m).map(|i| -0.2 + i as f32 * 0.05).collect();
+        let mut fused = vec![0.0f32; m * n];
+        gemm_slices(
+            a.data(),
+            b.data(),
+            &mut fused,
+            m,
+            k,
+            n,
+            Epilogue::ScaleShift { scale: &scale, shift: &shift, relu: true },
+        );
+        for i in 0..m {
+            for j in 0..n {
+                let expect = (scale[i] * base.data()[i * n + j] + shift[i]).max(0.0);
+                assert_eq!(fused[i * n + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn row_tasks_planning() {
+        // Serial when the budget is 1, regardless of size.
+        assert_eq!(row_tasks(4096, MR, usize::MAX >> 1, TASK_FLOPS_AB, 1), 1);
+        // Serial when the work cannot feed two tasks at the floor.
+        assert_eq!(row_tasks(64, MR, 2 * TASK_FLOPS_AB - 1, TASK_FLOPS_AB, 8), 1);
+        // Splits once every task clears the floor.
+        assert_eq!(row_tasks(64, MR, 2 * TASK_FLOPS_AB, TASK_FLOPS_AB, 8), 2);
+        // Bounded by the thread budget and by MR-quantised rows.
+        assert_eq!(row_tasks(64, MR, usize::MAX >> 1, TASK_FLOPS_AB, 4), 4);
+        assert_eq!(row_tasks(7, MR, usize::MAX >> 1, TASK_FLOPS_AB, 64), 2);
+    }
+
+    /// Sizes that straddle the adaptive parallel threshold (the smallest
+    /// shape whose work feeds two tasks at the per-kernel FLOP floor):
+    /// threshold−1 stays serial, threshold and threshold+1 dispatch to the
+    /// pool — and all of them must be bitwise identical at 1/2/3/8
+    /// threads.
+    #[test]
+    fn threshold_straddling_sizes_bitwise_identical() {
+        let mut rng = rng_from_seed(12);
+        let (k, n) = (64usize, 64usize);
+        // flops = 2·m·k·n, so two tasks first clear the floor at
+        // m* = floor/(k·n) (same m* for A·B over rows and Aᵀ·B over the
+        // contraction since both use floor 2^19).
+        let m_star_ab = TASK_FLOPS_AB / (k * n);
+        let m_star_abt = TASK_FLOPS_A_BT / (k * n);
+        assert_eq!(row_tasks(m_star_ab - 1, MR, 2 * (m_star_ab - 1) * k * n, TASK_FLOPS_AB, 8), 1);
+        assert_eq!(row_tasks(m_star_ab, MR, 2 * m_star_ab * k * n, TASK_FLOPS_AB, 8), 2);
+        for dm in [-1i64, 0, 1] {
+            let m_ab = (m_star_ab as i64 + dm) as usize;
+            let a = Tensor::randn(&[m_ab, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let at = Tensor::randn(&[m_ab, k], 1.0, &mut rng);
+            let bt_b = Tensor::randn(&[m_ab, n], 1.0, &mut rng);
+            let m_bt = (m_star_abt as i64 + dm) as usize;
+            let abt_a = Tensor::randn(&[m_bt, n], 1.0, &mut rng);
+            let abt_b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let serial = par::with_threads(1, || {
+                (matmul(&a, &b), matmul_at_b(&at, &bt_b), matmul_a_bt(&abt_a, &abt_b))
+            });
+            for threads in [2, 3, 8] {
+                let par_out = par::with_threads(threads, || {
+                    (matmul(&a, &b), matmul_at_b(&at, &bt_b), matmul_a_bt(&abt_a, &abt_b))
+                });
+                assert_eq!(serial.0.data(), par_out.0.data(), "matmul m*{dm:+} @ {threads}t");
+                assert_eq!(serial.1.data(), par_out.1.data(), "at_b m*{dm:+} @ {threads}t");
+                assert_eq!(serial.2.data(), par_out.2.data(), "a_bt m*{dm:+} @ {threads}t");
+            }
+        }
     }
 
     #[test]
     fn parallel_paths_are_bitwise_serial() {
-        // Big enough to clear PAR_MIN_FLOPS so the pool path actually runs.
+        // Big enough to clear the adaptive threshold so the pool path runs.
         let mut rng = rng_from_seed(11);
         let a = Tensor::randn(&[96, 64], 1.0, &mut rng);
         let b = Tensor::randn(&[64, 80], 1.0, &mut rng);

@@ -75,6 +75,26 @@ impl BatchNorm2d {
             *g += l1 * v.signum();
         }
     }
+
+    /// Fold the eval-mode transform into per-channel `(scale, shift)`:
+    /// `bn(x) = scale[c]·x + shift[c]` with `scale = gamma·invstd(running)`
+    /// and `shift = beta − running_mean·scale`. A convolution feeding this
+    /// batch-norm can apply the pair in its post-matmul write epilogue,
+    /// skipping the separate normalisation pass entirely (eval mode only —
+    /// train mode needs the batch statistics of the conv output).
+    pub fn fold_eval(&self) -> (Vec<f32>, Vec<f32>) {
+        let c = self.channels();
+        let (g, b) = (self.gamma.data(), self.beta.data());
+        let (rm, rv) = (self.running_mean.data(), self.running_var.data());
+        let mut scale = vec![0.0f32; c];
+        let mut shift = vec![0.0f32; c];
+        for ch in 0..c {
+            let s = g[ch] / (rv[ch] + self.eps).sqrt();
+            scale[ch] = s;
+            shift[ch] = b[ch] - rm[ch] * s;
+        }
+        (scale, shift)
+    }
 }
 
 impl Layer for BatchNorm2d {
@@ -293,6 +313,30 @@ mod tests {
         assert_eq!(bn.channels(), 2);
         assert_eq!(bn.gamma.data(), &[2., 4.]);
         assert_eq!(bn.running_mean.data(), &[6., 8.]);
+    }
+
+    #[test]
+    fn fold_eval_matches_eval_forward() {
+        let mut rng = rng_from_seed(63);
+        let mut bn = BatchNorm2d::new(3);
+        // Non-trivial affine and running stats.
+        bn.gamma = Tensor::from_slice(&[3], &[1.5, 0.7, -0.4]);
+        bn.beta = Tensor::from_slice(&[3], &[0.3, -0.2, 1.1]);
+        bn.running_mean = Tensor::from_slice(&[3], &[0.5, -1.0, 2.0]);
+        bn.running_var = Tensor::from_slice(&[3], &[1.2, 0.4, 3.0]);
+        let x = Tensor::randn(&[2, 3, 4, 4], 1.0, &mut rng);
+        let y = bn.forward(&x, false);
+        let (scale, shift) = bn.fold_eval();
+        for b in 0..2 {
+            for ch in 0..3 {
+                let base = (b * 3 + ch) * 16;
+                for i in 0..16 {
+                    let folded = scale[ch] * x.data()[base + i] + shift[ch];
+                    let diff = (folded - y.data()[base + i]).abs();
+                    assert!(diff < 1e-5, "{folded} vs {}", y.data()[base + i]);
+                }
+            }
+        }
     }
 
     #[test]

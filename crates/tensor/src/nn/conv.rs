@@ -1,7 +1,8 @@
 use crate::im2col::{col2im_into, im2col_into, ConvGeom};
+use crate::matmul::{gemm_a_bt_slices, gemm_at_b_slices, gemm_slices, Epilogue};
 use crate::nn::Layer;
 use crate::optim::Param;
-use crate::{init, matmul, matmul_a_bt, matmul_at_b, par, Rng, Tensor};
+use crate::{init, par, Rng, Tensor};
 
 /// 2-D convolution over NCHW input.
 ///
@@ -25,8 +26,10 @@ pub struct Conv2d {
     kw: usize,
     stride: usize,
     pad: usize,
-    /// im2col buffers for each batch item from the last forward.
-    cached_cols: Vec<Vec<f32>>,
+    /// Flat im2col column buffer from the last forward (`n` slabs of
+    /// `col_rows·oh·ow`), reused across training steps so steady-state
+    /// forward/backward passes do not allocate.
+    cols_buf: Vec<f32>,
     cached_in_dims: [usize; 4],
 }
 
@@ -55,7 +58,7 @@ impl Conv2d {
             kw,
             stride,
             pad,
-            cached_cols: Vec::new(),
+            cols_buf: Vec::new(),
             cached_in_dims: [0; 4],
         }
     }
@@ -86,7 +89,7 @@ impl Conv2d {
             kw,
             stride,
             pad,
-            cached_cols: Vec::new(),
+            cols_buf: Vec::new(),
             cached_in_dims: [0; 4],
         }
     }
@@ -174,12 +177,35 @@ impl Conv2d {
     pub fn reset_grads(&mut self) {
         self.grad_weight = Tensor::zeros(self.weight.dims());
         self.grad_bias = Tensor::zeros(&[self.bias.as_ref().map_or(0, |b| b.numel())]);
-        self.cached_cols.clear();
+        self.cols_buf.clear();
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    /// Eval-mode forward with a folded batch-norm applied in the
+    /// post-matmul write: `out[c] = scale[c]·conv(x)[c] + shift[c]`,
+    /// optionally clamped at zero (`relu`). The conv bias, if any, is
+    /// folded into the shift, so the whole Conv→BN(→ReLU) block is one
+    /// GEMM with a fused epilogue — no separate normalisation pass and no
+    /// intermediate activation tensor. See [`BatchNorm2d::fold_eval`].
+    ///
+    /// [`BatchNorm2d::fold_eval`]: crate::nn::BatchNorm2d::fold_eval
+    pub fn forward_fused_bn(
+        &mut self,
+        x: &Tensor,
+        scale: &[f32],
+        shift: &[f32],
+        relu: bool,
+    ) -> Tensor {
+        debug_assert_eq!(scale.len(), self.out_c);
+        debug_assert_eq!(shift.len(), self.out_c);
+        self.forward_with(x, Some((scale, shift, relu)))
+    }
+
+    /// Shared forward driver: lower each batch item with im2col into its
+    /// slab of the reused flat column buffer, then one GEMM per item with
+    /// the requested write epilogue. Batch items are independent tasks
+    /// writing disjoint output and column slabs, with identical per-item
+    /// math at any thread count.
+    fn forward_with(&mut self, x: &Tensor, fused: Option<(&[f32], &[f32], bool)>) -> Tensor {
         let d = x.dims();
         debug_assert_eq!(d.len(), 4, "conv input must be NCHW");
         debug_assert_eq!(d[1], self.in_c, "conv: channel mismatch");
@@ -192,40 +218,68 @@ impl Layer for Conv2d {
         let mut out = Tensor::zeros(&[n, self.out_c, oh, ow]);
         let item = self.in_c * in_h * in_w;
         let out_item = self.out_c * oh * ow;
-        if n == 0 || out_item == 0 {
-            // No output to write; still keep per-item cols for backward.
-            let xd = x.data();
-            self.cached_cols = (0..n)
-                .map(|b| {
-                    let mut cols = vec![0.0f32; col_len];
-                    im2col_into(&xd[b * item..(b + 1) * item], g, &mut cols);
-                    cols
-                })
-                .collect();
+        // Reused across steps: resize keeps capacity once shapes settle.
+        self.cols_buf.resize(n * col_len, 0.0);
+        if n == 0 {
             return out;
         }
-        // Batch items are independent: each task lowers one image and
-        // writes its disjoint output chunk; the im2col buffer is kept for
-        // backward. Identical per-item math at any thread count.
-        let weight = &self.weight;
-        let bias = self.bias.as_ref();
+        // Fold the conv bias into the batch-norm shift so the epilogue
+        // stays a single scale/shift per output channel.
+        let shift_eff: Vec<f32> = match (fused, &self.bias) {
+            (Some((scale, shift, _)), Some(b)) => shift
+                .iter()
+                .zip(scale.iter())
+                .zip(b.data())
+                .map(|((&t, &s), &bv)| t + s * bv)
+                .collect(),
+            (Some((_, shift, _)), None) => shift.to_vec(),
+            (None, _) => Vec::new(),
+        };
+        let epi = match (fused, &self.bias) {
+            (Some((scale, _, relu)), _) => {
+                Epilogue::ScaleShift { scale, shift: &shift_eff, relu }
+            }
+            (None, Some(b)) => Epilogue::Bias(b.data()),
+            (None, None) => Epilogue::Store,
+        };
         let xd = x.data();
-        self.cached_cols = par::par_chunks_mut_map(out.data_mut(), out_item, |b, dst| {
-            let mut cols = vec![0.0f32; col_len];
-            im2col_into(&xd[b * item..(b + 1) * item], g, &mut cols);
-            let cols_t = Tensor::from_slice(&[col_rows, oh * ow], &cols);
-            let y = matmul(weight, &cols_t); // [out_c, oh*ow]
-            dst.copy_from_slice(y.data());
-            if let Some(bias) = bias {
-                for (c, &bv) in bias.data().iter().enumerate() {
-                    for v in &mut dst[c * oh * ow..(c + 1) * oh * ow] {
-                        *v += bv;
-                    }
+        if out_item == 0 || col_len == 0 {
+            // Degenerate shapes: no GEMM to run. Lower the input anyway
+            // (backward still reads the columns) and finish the zero
+            // output rows through the epilogue (bias / shift broadcast).
+            for b in 0..n {
+                im2col_into(
+                    &xd[b * item..(b + 1) * item],
+                    g,
+                    &mut self.cols_buf[b * col_len..(b + 1) * col_len],
+                );
+                let od = out.data_mut();
+                for c in 0..self.out_c {
+                    let base = b * out_item + c * oh * ow;
+                    epi.finish_row(c, &mut od[base..base + oh * ow]);
                 }
             }
-            cols
-        });
+            return out;
+        }
+        let weight = self.weight.data();
+        let (out_c, ohw) = (self.out_c, oh * ow);
+        par::par_chunks_mut2(
+            out.data_mut(),
+            out_item,
+            &mut self.cols_buf,
+            col_len,
+            |b, dst, cols| {
+                im2col_into(&xd[b * item..(b + 1) * item], g, cols);
+                gemm_slices(weight, cols, dst, out_c, col_rows, ohw, epi);
+            },
+        );
         out
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.forward_with(x, None)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -235,36 +289,42 @@ impl Layer for Conv2d {
         let (oh, ow) = (g.out_h(), g.out_w());
         debug_assert_eq!(grad_out.dims(), &[n, self.out_c, oh, ow]);
         let col_rows = in_c * self.kh * self.kw;
+        let col_len = col_rows * oh * ow;
         let mut grad_in = Tensor::zeros(&[n, in_c, in_h, in_w]);
         let out_item = self.out_c * oh * ow;
         let in_item = in_c * in_h * in_w;
-        // Per-item contributions in parallel: each task scatters into its
-        // disjoint grad_in chunk and returns its (dW, db) terms. Folding
-        // those serially in ascending batch order reproduces the serial
-        // accumulation bitwise.
-        let weight = &self.weight;
-        let cached_cols = &self.cached_cols;
+        // Per-item contributions in parallel: each task reads its slab of
+        // the retained column buffer, scatters into its disjoint grad_in
+        // chunk, and returns its (dW, db) terms. Folding those serially in
+        // ascending batch order reproduces the serial accumulation
+        // bitwise. The GEMMs run serially inside each task — batch-level
+        // parallelism is already in effect.
+        let weight = self.weight.data();
+        let cols_buf = &self.cols_buf;
         let god = grad_out.data();
-        let (out_c, has_bias) = (self.out_c, self.bias.is_some());
-        let contribs: Vec<(Tensor, Vec<f32>)> =
+        let (out_c, ohw, has_bias) = (self.out_c, oh * ow, self.bias.is_some());
+        let contribs: Vec<(Vec<f32>, Vec<f32>)> =
             par::par_chunks_mut_map(grad_in.data_mut(), in_item, |b, gi_chunk| {
-                let gout =
-                    Tensor::from_slice(&[out_c, oh * ow], &god[b * out_item..(b + 1) * out_item]);
-                let cols = Tensor::from_slice(&[col_rows, oh * ow], &cached_cols[b]);
+                let gout = &god[b * out_item..(b + 1) * out_item];
+                let cols = &cols_buf[b * col_len..(b + 1) * col_len];
                 // dW_b = gout · colsᵀ
-                let gw = matmul_a_bt(&gout, &cols);
+                let mut gw = vec![0.0f32; out_c * col_rows];
+                gemm_a_bt_slices(gout, cols, &mut gw, out_c, ohw, col_rows);
                 let gb: Vec<f32> = if has_bias {
-                    (0..out_c).map(|c| gout.row(c).iter().sum()).collect()
+                    (0..out_c).map(|c| gout[c * ohw..(c + 1) * ohw].iter().sum()).collect()
                 } else {
                     Vec::new()
                 };
                 // d cols = Wᵀ · gout, then scatter back to image space.
-                let gcols = matmul_at_b(weight, &gout);
-                col2im_into(gcols.data(), g, gi_chunk);
+                let mut gcols = vec![0.0f32; col_len];
+                gemm_at_b_slices(weight, gout, &mut gcols, out_c, col_rows, ohw);
+                col2im_into(&gcols, g, gi_chunk);
                 (gw, gb)
             });
         for (gw, gb) in contribs {
-            self.grad_weight.add_assign(&gw);
+            for (d, s) in self.grad_weight.data_mut().iter_mut().zip(&gw) {
+                *d += s;
+            }
             for (c, v) in gb.into_iter().enumerate() {
                 self.grad_bias.data_mut()[c] += v;
             }

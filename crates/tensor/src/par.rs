@@ -363,6 +363,39 @@ where
     })
 }
 
+/// Partition *two* slices by the same task index and run
+/// `f(i, chunk_a, chunk_b)` for each, possibly concurrently. Both slices
+/// are cut into consecutive chunks (`a_chunk` / `b_chunk` elements, last
+/// chunks may be short) and must yield the same task count. Lets a kernel
+/// write a disjoint output chunk while *also* owning a disjoint scratch
+/// chunk (e.g. conv writing its output item and its im2col column slab)
+/// without allocating per task.
+pub fn par_chunks_mut2<T, U, F>(a: &mut [T], a_chunk: usize, b: &mut [U], b_chunk: usize, f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert!(a_chunk > 0 && b_chunk > 0, "chunk lengths must be positive");
+    let (a_len, b_len) = (a.len(), b.len());
+    let tasks = a_len.div_ceil(a_chunk);
+    assert_eq!(
+        tasks,
+        b_len.div_ceil(b_chunk),
+        "par_chunks_mut2: slices disagree on task count"
+    );
+    let base_a = SendPtr(a.as_mut_ptr());
+    let base_b = SendPtr(b.as_mut_ptr());
+    par_for(tasks, move |i| {
+        let (sa, ea) = (i * a_chunk, (i * a_chunk + a_chunk).min(a_len));
+        let (sb, eb) = (i * b_chunk, (i * b_chunk + b_chunk).min(b_len));
+        // Chunks are disjoint by construction in both slices.
+        let ca = unsafe { std::slice::from_raw_parts_mut(base_a.get().add(sa), ea - sa) };
+        let cb = unsafe { std::slice::from_raw_parts_mut(base_b.get().add(sb), eb - sb) };
+        f(i, ca, cb);
+    });
+}
+
 /// Raw pointer wrapper that may cross threads; all uses above write
 /// disjoint regions per task index. Accessed via [`SendPtr::get`] so
 /// closures capture the `Sync` wrapper, not the bare pointer field.
@@ -480,6 +513,35 @@ mod tests {
                 assert_eq!(sums, expect);
             });
         }
+    }
+
+    #[test]
+    fn par_chunks_mut2_pairs_chunks_by_index() {
+        for threads in [1, 4] {
+            with_threads(threads, || {
+                let mut out = vec![0u32; 12];
+                let mut scratch = vec![0u32; 18];
+                par_chunks_mut2(&mut out, 4, &mut scratch, 6, |ci, o, s| {
+                    assert_eq!(o.len(), 4);
+                    assert_eq!(s.len(), 6);
+                    for v in s.iter_mut() {
+                        *v = ci as u32 + 1;
+                    }
+                    for v in o.iter_mut() {
+                        *v = s.iter().sum();
+                    }
+                });
+                assert_eq!(out, vec![6, 6, 6, 6, 12, 12, 12, 12, 18, 18, 18, 18]);
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "task count")]
+    fn par_chunks_mut2_rejects_mismatched_partitions() {
+        let mut a = vec![0u8; 10];
+        let mut b = vec![0u8; 10];
+        par_chunks_mut2(&mut a, 2, &mut b, 4, |_, _, _| {});
     }
 
     #[test]

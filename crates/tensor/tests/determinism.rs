@@ -48,7 +48,13 @@ fn reference_matmul_at_b(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
-/// Reference pre-parallel `matmul_a_bt` (per-element dot products).
+/// Reference `matmul_a_bt`: per-element dot products in the kernel's
+/// documented fixed order — four lane-strided accumulators (lane `l` sums
+/// elements `l, l+4, …`), combined as `(l0+l1)+(l2+l3)`, then the `n % 4`
+/// tail added in ascending order. The kernel numerics moved from a single
+/// serial accumulator to this order when the packed microkernels landed
+/// (`KERNEL_NUMERICS_VERSION` 3); the 1-thread kernel must match this
+/// spelled-out form bitwise.
 fn reference_matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, n) = (a.dims()[0], a.dims()[1]);
     let k = b.dims()[0];
@@ -59,9 +65,15 @@ fn reference_matmul_a_bt(a: &Tensor, b: &Tensor) -> Tensor {
         let c_row = &mut cd[i * k..(i + 1) * k];
         for (j, cv) in c_row.iter_mut().enumerate() {
             let b_row = &bd[j * n..(j + 1) * n];
-            let mut acc = 0.0f32;
-            for (&av, &bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+            let mut lanes = [0.0f32; 4];
+            for t in 0..n / 4 {
+                for l in 0..4 {
+                    lanes[l] += a_row[4 * t + l] * b_row[4 * t + l];
+                }
+            }
+            let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            for p in n / 4 * 4..n {
+                acc += a_row[p] * b_row[p];
             }
             *cv = acc;
         }

@@ -6,7 +6,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+cargo bench --no-run --offline --workspace
 cargo test -q --offline --workspace
+
+# ---------------------------------------------------------------------------
+# Kernel regression gate: re-measure the hot tensor kernels (quick mode:
+# medians only, few iterations) and compare against the committed
+# BENCH_baseline.json. Fails on a >15% regression of a gated kernel, on
+# `auto` thread mode losing to serial, or on the blocked-matmul speedup
+# over the pre-rewrite kernels falling below its floor. After an
+# intentional kernel change, rebase with:
+#   AUTOMC_BENCH_REBASE=1 cargo run --release --offline -p automc-bench \
+#       --bin kernel_gate
+# ---------------------------------------------------------------------------
+echo "== kernel regression gate =="
+AUTOMC_BENCH_QUICK=1 cargo bench --offline -p automc-bench --bench substrate
+cargo run --release --offline -p automc-bench --bin kernel_gate
+echo "kernel regression gate passed"
 
 # ---------------------------------------------------------------------------
 # Fault-injection smoke: the full Table 2 pipeline at the smallest scale,
@@ -40,7 +56,7 @@ AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$ref_dir" \
     cargo run --release --offline -p automc-bench --bin table2 -- \
     --smoke --fresh --seed 7 >/tmp/automc-resume-ref.out 2>/dev/null
 set +e
-AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$res_dir" AUTOMC_FAULTS="exit@eval:54" \
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$res_dir" AUTOMC_FAULTS="exit@eval:58" \
     cargo run --release --offline -p automc-bench --bin table2 -- \
     --smoke --fresh --seed 7 >/dev/null 2>&1
 kill_code=$?
