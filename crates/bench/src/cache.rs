@@ -14,11 +14,15 @@
 //! Entries are written atomically (temp file + rename) and carry an
 //! FNV-1a 64 checksum of the payload, so a torn write, truncation, or
 //! bit-flip is detected on load and treated as a logged miss rather than
-//! parsed into garbage results. The `corrupt@cache:n` fault site
-//! (`automc_tensor::fault`) flips payload bytes just before the n-th
-//! store to exercise that rejection path deterministically.
+//! parsed into garbage results; the corrupt file itself is *moved aside*
+//! into a `quarantine/` directory (the same discipline as the blob
+//! store's healing path, see `automc_compress::store`) so a bad entry can
+//! be post-mortemed while the next store heals the key. The
+//! `corrupt@cache:n` fault site (`automc_tensor::fault`) flips payload
+//! bytes just before the n-th store to exercise that rejection path
+//! deterministically.
 
-use automc_core::journal::{fnv1a64, write_atomic_retry};
+use automc_compress::store::{fnv1a64, quarantine_file, write_atomic_retry};
 use automc_json::{field, obj, FromJson, ToJson, Value};
 use automc_tensor::fault::{self, FaultKind};
 use std::fs;
@@ -56,12 +60,24 @@ fn read_envelope(key: &str) -> Option<(String, Value)> {
     read_envelope_at(&cache_path(key), key)
 }
 
+/// Quarantine a corrupt cache entry (moved aside, not deleted) and log
+/// where it went; the next [`store`] of the key heals it.
+fn quarantine_entry(path: &std::path::Path, key: &str, why: &str) {
+    match quarantine_file(path) {
+        Some(dest) => eprintln!(
+            "[cache] {key}: {why}; quarantined to {} and recomputing",
+            dest.display()
+        ),
+        None => eprintln!("[cache] {key}: {why}; removed and recomputing"),
+    }
+}
+
 fn read_envelope_at(path: &std::path::Path, key: &str) -> Option<(String, Value)> {
     let text = fs::read_to_string(path).ok()?;
     let v = match automc_json::parse(&text) {
         Ok(v) => v,
         Err(_) => {
-            eprintln!("[cache] {key}: unparsable entry, recomputing");
+            quarantine_entry(path, key, "unparsable entry");
             return None;
         }
     };
@@ -73,11 +89,11 @@ fn read_envelope_at(path: &std::path::Path, key: &str) -> Option<(String, Value)
         v.get("payload").and_then(|p| p.as_str()),
     ) {
         if fnv1a64(payload.as_bytes()) != checksum {
-            eprintln!("[cache] {key}: checksum mismatch (corrupt entry), recomputing");
+            quarantine_entry(path, key, "checksum mismatch (corrupt entry)");
             return None;
         }
         let Ok(inner) = automc_json::parse(payload) else {
-            eprintln!("[cache] {key}: corrupt payload, recomputing");
+            quarantine_entry(path, key, "corrupt payload");
             return None;
         };
         let fp: String = field(&inner, "fingerprint")?;
@@ -249,6 +265,14 @@ mod tests {
         bytes[idx] = bytes[idx].wrapping_add(1);
         fs::write(&path, &bytes).unwrap();
         assert_eq!(load::<Vec<u32>>(key, fp), None, "bit-flip must be a miss");
+        assert!(!path.exists(), "corrupt entry must be moved aside");
+        let quarantined = fs::read_dir(cache_dir().join("quarantine"))
+            .map(|d| {
+                d.flatten()
+                    .any(|e| e.file_name().to_string_lossy().contains(key))
+            })
+            .unwrap_or(false);
+        assert!(quarantined, "corrupt entry must land in quarantine/");
         // Truncate mid-file, as a torn write would.
         store(key, fp, &vec![4u32, 5, 6]);
         let good = fs::read(&path).unwrap();

@@ -742,9 +742,12 @@ pub fn run_search(
         );
         let memo = automc_compress::memo::stats().since(&memo_before);
         if memo.lookups > 0 {
+            // Keep the hit-rate percentage inside the line's first
+            // parenthesis: check.sh's memo gate parses it positionally.
             eprintln!(
                 "[memo] {}: {}/{} prefix hits ({:.1}%), {} full, {} negative, \
-                 {} steps / {} train images avoided",
+                 {} steps / {} train images avoided, \
+                 {} spilled / {} spill-evicted / {} healed",
                 algo.name(),
                 memo.prefix_hits,
                 memo.lookups,
@@ -752,7 +755,10 @@ pub fn run_search(
                 memo.full_hits,
                 memo.neg_hits,
                 memo.steps_avoided,
-                memo.trained_images_avoided
+                memo.trained_images_avoided,
+                memo.spilled,
+                memo.spill_evictions,
+                memo.healed
             );
         }
         history

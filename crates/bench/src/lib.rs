@@ -78,10 +78,14 @@ impl BenchArgs {
         if automc_compress::memo::enabled() {
             // Spill evicted/inserted prefix models next to the result
             // cache so a relaunched process re-hits prefixes computed by
-            // an earlier run. `AUTOMC_MEMO_SPILL_DIR` re-points the store:
-            // the orchestrator isolates each worker's result cache but
-            // shares one spill store across the fleet (prefix models are
-            // content-addressed, so sharing is always sound).
+            // an earlier run. The directory is opened as a crash-safe
+            // concurrent `automc_compress::store::BlobStore`, so many
+            // processes may share it live — `AUTOMC_MEMO_SPILL_DIR`
+            // re-points it: the orchestrator isolates each worker's
+            // result cache but shares one spill store across the fleet
+            // (prefix models are content-addressed, so sharing is always
+            // sound, and the store's GC/quarantine keep it bounded and
+            // self-healing).
             let spill = std::env::var("AUTOMC_MEMO_SPILL_DIR")
                 .ok()
                 .filter(|d| !d.is_empty())

@@ -18,8 +18,14 @@
 //!   (`AUTOMC_RESULTS_DIR=<root>/worker<idx>`), so a crashed worker can
 //!   corrupt at most its own cache, never a sibling's;
 //! * all workers share the memo spill store
-//!   (`AUTOMC_MEMO_SPILL_DIR=<root>/memo`) — prefix models are
-//!   content-addressed, so cross-process sharing is free;
+//!   (`AUTOMC_MEMO_SPILL_DIR=<root>/memo`), opened by every process as a
+//!   crash-safe concurrent `automc_compress::store::BlobStore` — prefix
+//!   models are content-addressed (cross-process sharing is free), the
+//!   write-once publish protocol makes concurrent same-key writers
+//!   idempotent, the store's advisory-locked generational GC keeps the
+//!   directory under `AUTOMC_MEMO_DISK_BYTES` without deleting blobs a
+//!   sibling just opened, and a worker killed mid-spill can at worst
+//!   leave a temp file, never a torn blob;
 //! * each worker emits [`journal::Heartbeat`] records (checksummed,
 //!   atomic) at `--heartbeat-ms` cadence, carrying its beat sequence,
 //!   current eval ordinal, and tasks completed.
@@ -716,6 +722,19 @@ pub fn table2_rows_sharded(
     }
     let retries_total: u64 = slots.iter().map(|s| s.retries).sum();
     eprintln!("[orchestrator] {} complete ({retries_total} retries)", exp.name);
+    // Supervisor-side view of the shared blob store's health over the run
+    // (each worker additionally reports its own `[memo]` counters).
+    let store = automc_compress::store::counters();
+    eprintln!(
+        "[orchestrator] spill store: {} published, {} hits, {} evicted, \
+         {} healed, {} raced, {} index rebuilds",
+        store.publishes,
+        store.hits,
+        store.evictions,
+        store.healed,
+        store.raced,
+        store.index_rebuilds
+    );
     let rows = merge_rows(exp, seed, workers, &root, &fp);
     cache::store(&key, &fp, &rows);
     journal::discard(&OrchJournal::path(&root, exp.name, seed));

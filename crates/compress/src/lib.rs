@@ -29,6 +29,7 @@ mod methods;
 pub mod quant;
 mod scheme;
 mod space;
+pub mod store;
 
 pub use methods::{apply_strategy, ExecConfig};
 pub use scheme::{

@@ -35,9 +35,13 @@
 //! `fault::tick("eval")` fires once per *logical* evaluation regardless
 //! of cache hits, but `train`-site ticks happen per actual training run —
 //! a cache hit would skip them and shift every later ordinal. The
-//! executor therefore makes the cache pass-through whenever a fault plan
-//! is active on the thread ([`automc_tensor::fault::plan_active`]), so
-//! fault-injection runs behave exactly as if memoization did not exist.
+//! executor therefore makes the cache pass-through whenever the thread's
+//! fault plan schedules an `eval` or `train` fault
+//! ([`automc_tensor::fault::plan_schedules_any`]), so those injection
+//! runs behave exactly as if memoization did not exist. Plans targeting
+//! other sites — notably the blob store's own `spill`/`index` faults —
+//! leave the memo enabled: disabling it would make the very code those
+//! faults exercise unreachable.
 //!
 //! Organic failures (divergence, panics, timeouts) are deterministic for
 //! a given prefix, so they are negative-cached: re-encountering a known
@@ -48,25 +52,28 @@
 //!
 //! The in-memory store is an LRU bounded by a byte budget
 //! (`AUTOMC_MEMO_BYTES`, default 256 MiB). Entries can optionally spill
-//! to a content-addressed directory of checksummed blobs
-//! ([`set_spill_dir`]) so resumed or repeated runs re-hit across
-//! processes. The spill directory is itself capped
-//! (`AUTOMC_MEMO_DISK_BYTES`, default 1 GiB): blobs are evicted
-//! oldest-mtime-first (loads touch mtime, so this is LRU) on startup and
-//! whenever a spill pushes the store over budget. `AUTOMC_MEMO=off`
-//! disables the cache entirely.
+//! to a [`crate::store::BlobStore`] ([`set_spill_dir`]) — crash-safe,
+//! checksummed, and safe for concurrent multi-process use — so resumed,
+//! repeated, and *sibling* runs re-hit across processes. The spill store
+//! is itself capped (`AUTOMC_MEMO_DISK_BYTES`, default 1 GiB): that cap
+//! is the budget handed to the store's generational GC, which re-anchors
+//! byte totals from its index (so sibling processes' puts and evicts are
+//! accounted), evicts least-recently-used blobs first, and never evicts
+//! inside the in-use grace window. `AUTOMC_MEMO=off` disables the cache
+//! entirely.
 
 use crate::methods::ExecConfig;
 use crate::scheme::{EvalCost, Metrics, StepRecord};
 use crate::space::{StrategyId, StrategySpace};
+use crate::store::BlobStore;
 use automc_data::ImageSet;
 use automc_models::{serialize, ConvNet};
 use automc_tensor::{rng_for_task, Rng};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 // ---------------------------------------------------------------------------
 // Fingerprinting
@@ -461,6 +468,14 @@ pub struct MemoStats {
     pub train_batches_avoided: u64,
     /// Entries written (per prefix depth).
     pub inserts: u64,
+    /// Blobs published to the spill store. Unlike the fields above this
+    /// is *process-wide* (the store is shared by all threads), snapshotted
+    /// from [`crate::store::counters`] at [`stats`] time.
+    pub spilled: u64,
+    /// Spill blobs evicted under the disk budget (process-wide).
+    pub spill_evictions: u64,
+    /// Corrupt spill blobs quarantined and healed (process-wide).
+    pub healed: u64,
 }
 
 impl MemoStats {
@@ -487,6 +502,13 @@ impl MemoStats {
             train_batches_avoided: self.train_batches_avoided
                 - earlier.train_batches_avoided,
             inserts: self.inserts - earlier.inserts,
+            // Process-wide store counters are monotonic but not reset by
+            // `reset_stats`; saturate rather than panic on odd snapshots.
+            spilled: self.spilled.saturating_sub(earlier.spilled),
+            spill_evictions: self
+                .spill_evictions
+                .saturating_sub(earlier.spill_evictions),
+            healed: self.healed.saturating_sub(earlier.healed),
         }
     }
 }
@@ -495,9 +517,15 @@ thread_local! {
     static STATS: RefCell<MemoStats> = RefCell::new(MemoStats::default());
 }
 
-/// Snapshot the current thread's counters.
+/// Snapshot the current thread's counters, with the process-wide spill
+/// store counters overlaid (`spilled` / `spill_evictions` / `healed`).
 pub fn stats() -> MemoStats {
-    STATS.with(|s| *s.borrow())
+    let mut snap = STATS.with(|s| *s.borrow());
+    let store = crate::store::counters();
+    snap.spilled = store.publishes;
+    snap.spill_evictions = store.evictions;
+    snap.healed = store.healed;
+    snap
 }
 
 /// Zero the current thread's counters.
@@ -510,22 +538,15 @@ fn with_stats(f: impl FnOnce(&mut MemoStats)) {
 }
 
 // ---------------------------------------------------------------------------
-// Spill store (content-addressed, checksummed, atomic writes)
+// Spill store (crash-safe concurrent blob store, see `crate::store`)
 // ---------------------------------------------------------------------------
 
-static SPILL_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
-static SPILL_WARNED: AtomicBool = AtomicBool::new(false);
+static SPILL: Mutex<Option<Arc<BlobStore>>> = Mutex::new(None);
 
 /// Default on-disk spill budget (~1 GiB). The spill store is shared by
 /// every process pointed at the same directory and is otherwise unbounded
 /// across runs.
 pub const DEFAULT_DISK_BUDGET: u64 = 1 << 30;
-
-/// Approximate bytes currently in the spill directory: seeded by a full
-/// scan when the directory is set, bumped per spill, re-anchored by each
-/// GC pass. Blobs written by *other* concurrent processes are only
-/// counted at scan time — the cap is a size target, not an invariant.
-static SPILL_BYTES: AtomicU64 = AtomicU64::new(0);
 
 fn env_disk_budget() -> u64 {
     std::env::var("AUTOMC_MEMO_DISK_BYTES")
@@ -540,80 +561,51 @@ fn disk_budget_cell() -> &'static AtomicU64 {
 }
 
 /// Set the on-disk spill budget (overrides `AUTOMC_MEMO_DISK_BYTES`).
+/// This is the byte budget handed to the blob store's generational GC:
+/// a *target* the GC converges the shared directory towards, re-anchored
+/// from the store index each pass (so sibling processes' writes count),
+/// never enforced by deleting blobs inside the in-use grace window.
 pub fn set_disk_budget(bytes: u64) {
     disk_budget_cell().store(bytes, Ordering::Relaxed);
 }
 
-/// Direct spilled entries to `dir` (`None` disables spilling). Spilled
-/// blobs let a fresh process re-hit prefixes computed by an earlier run.
-/// Setting a directory scans it and immediately enforces the disk budget
-/// (LRU by mtime), so a long-lived spill store from earlier runs is
-/// trimmed at startup rather than growing without bound.
+/// Direct spilled entries to a [`BlobStore`] at `dir` (`None` disables
+/// spilling). Spilled blobs let fresh *and concurrent sibling* processes
+/// re-hit prefixes computed elsewhere. Opening the store replays (or
+/// rebuilds) its index and immediately enforces the disk budget, so a
+/// long-lived spill store is trimmed at startup rather than growing
+/// without bound. If the store cannot be opened, spilling is disabled
+/// with a warning — the memo degrades to in-memory only.
 pub fn set_spill_dir(dir: Option<PathBuf>) {
-    if let Ok(mut g) = SPILL_DIR.lock() {
-        *g = dir;
+    let store = dir.and_then(|d| match BlobStore::open(&d) {
+        Ok(s) => Some(Arc::new(s)),
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open memo spill store at {} ({e}); \
+                 continuing without spill",
+                d.display()
+            );
+            None
+        }
+    });
+    if let Ok(mut g) = SPILL.lock() {
+        *g = store;
     }
     gc_spill_store();
 }
 
-/// Enforce the spill-store disk budget: scan the directory, and while the
-/// total exceeds the budget remove blobs oldest-mtime-first (loads touch
-/// mtime, so eviction order is least-recently-used). Returns the bytes
-/// evicted; logs when anything was. Errors are ignored blob-wise — a
-/// blob that cannot be statted or removed is simply skipped.
+/// The shared spill [`BlobStore`], if one is configured. The orchestrator
+/// and serve-style callers can use this to report store-level counters.
+pub fn spill_store_handle() -> Option<Arc<BlobStore>> {
+    SPILL.lock().ok().and_then(|g| g.clone())
+}
+
+/// Enforce the spill-store disk budget via the blob store's generational
+/// GC (advisory-locked, index-anchored, grace-window-aware; see
+/// [`crate::store::BlobStore::gc`]). Returns the bytes evicted.
 pub fn gc_spill_store() -> u64 {
-    let Some(dir) = spill_dir() else { return 0 };
-    let budget = disk_budget_cell().load(Ordering::Relaxed);
-    let Ok(entries) = std::fs::read_dir(&dir) else {
-        SPILL_BYTES.store(0, Ordering::Relaxed);
-        return 0;
-    };
-    let mut blobs: Vec<(std::time::SystemTime, u64, PathBuf)> = Vec::new();
-    let mut total = 0u64;
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.extension().and_then(|e| e.to_str()) != Some("bin") {
-            continue;
-        }
-        let Ok(meta) = entry.metadata() else { continue };
-        let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-        total += meta.len();
-        blobs.push((mtime, meta.len(), path));
-    }
-    let mut evicted_bytes = 0u64;
-    let mut evicted_blobs = 0u64;
-    if total > budget {
-        // Oldest first; tie-break on the path for a deterministic order.
-        blobs.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
-        for (_, len, path) in &blobs {
-            if total <= budget {
-                break;
-            }
-            if std::fs::remove_file(path).is_ok() {
-                total -= len;
-                evicted_bytes += len;
-                evicted_blobs += 1;
-            }
-        }
-        if evicted_bytes > 0 {
-            eprintln!(
-                "[memo] spill GC: evicted {evicted_bytes} bytes \
-                 ({evicted_blobs} blobs), {total} bytes retained"
-            );
-        }
-    }
-    SPILL_BYTES.store(total, Ordering::Relaxed);
-    evicted_bytes
-}
-
-fn spill_dir() -> Option<PathBuf> {
-    SPILL_DIR.lock().ok().and_then(|g| g.clone())
-}
-
-fn spill_warn_once(what: &str, e: &std::io::Error) {
-    if !SPILL_WARNED.swap(true, Ordering::Relaxed) {
-        eprintln!("warning: memo spill {what} failed ({e}); continuing without spill");
-    }
+    let Some(store) = spill_store_handle() else { return 0 };
+    store.gc(disk_budget_cell().load(Ordering::Relaxed))
 }
 
 const SPILL_MAGIC: &[u8; 8] = b"AUTOMCm1";
@@ -787,62 +779,38 @@ fn decode(bytes: &[u8]) -> Option<Cached> {
     }
 }
 
-fn spill_path(dir: &std::path::Path, key: u64) -> PathBuf {
-    dir.join(format!("{key:016x}.bin"))
-}
-
 fn spill_store(key: u64, value: &Cached) {
-    let Some(dir) = spill_dir() else { return };
-    let path = spill_path(&dir, key);
-    if path.exists() {
-        return; // content-addressed: an existing blob is identical
-    }
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        spill_warn_once("mkdir", &e);
-        return;
-    }
-    let tmp = dir.join(format!("{key:016x}.tmp.{}", std::process::id()));
-    let bytes = encode(value);
-    if let Err(e) = std::fs::write(&tmp, &bytes) {
-        spill_warn_once("write", &e);
-        let _ = std::fs::remove_file(&tmp);
-        return;
-    }
-    if let Err(e) = std::fs::rename(&tmp, &path) {
-        spill_warn_once("rename", &e);
-        let _ = std::fs::remove_file(&tmp);
-        return;
-    }
-    // Enforce the disk budget as soon as the running total crosses it;
-    // the GC re-anchors the total from a real directory scan.
-    let total = SPILL_BYTES.fetch_add(bytes.len() as u64, Ordering::Relaxed)
-        + bytes.len() as u64;
-    if total > disk_budget_cell().load(Ordering::Relaxed) {
+    let Some(store) = spill_store_handle() else { return };
+    // The blob store's publish is write-once and crash-safe (temp +
+    // fsync + rename); content addressing makes a lost same-key race
+    // identical by construction. The memo codec's own magic + checksum
+    // ride inside the store envelope — defence in depth, and the decoder
+    // keeps rejecting damaged payloads even on legacy-format blobs.
+    if store.publish(key, &encode(value))
+        && store.total_bytes() > disk_budget_cell().load(Ordering::Relaxed)
+    {
         gc_spill_store();
     }
 }
 
 fn spill_load(key: u64) -> Option<Cached> {
-    let dir = spill_dir()?;
-    let path = spill_path(&dir, key);
-    let bytes = std::fs::read(&path).ok()?;
+    let store = spill_store_handle()?;
+    // `get` verifies the store envelope, quarantines corruption, and
+    // turns sibling-evict races into clean misses; recency touches are
+    // index records now, not mtime writes.
+    let bytes = store.get(key)?;
     match decode(&bytes) {
-        Some(v) => {
-            // Touch the blob so mtime order approximates LRU and the
-            // disk-budget GC evicts cold prefixes first (best-effort).
-            if let Ok(f) = std::fs::OpenOptions::new().write(true).open(&path) {
-                let _ = f.set_modified(std::time::SystemTime::now());
-            }
-            Some(v)
-        }
+        Some(v) => Some(v),
         None => {
-            // A torn or corrupt blob heals by deletion: the prefix is
-            // simply recomputed and re-spilled.
+            // Sealed but nonsense at the memo layer (e.g. a legacy blob
+            // republished under a colliding key): heal it the same way
+            // the store heals envelope corruption — quarantine, log,
+            // recompute, re-spill.
             eprintln!(
-                "warning: memo spill blob {} is corrupt; removing it",
-                path.display()
+                "warning: memo spill blob {key:016x} failed payload decode; \
+                 quarantining"
             );
-            let _ = std::fs::remove_file(&path);
+            store.quarantine(key);
             None
         }
     }
@@ -1064,10 +1032,12 @@ mod tests {
         ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        // Three 100-byte blobs with strictly increasing mtimes.
+        // Three 100-byte legacy blobs (canonical 16-hex stems, as the
+        // pre-store spill path always wrote) with increasing mtimes.
         let t0 = std::time::SystemTime::now() - std::time::Duration::from_secs(300);
-        for (i, name) in ["aa.bin", "bb.bin", "cc.bin"].iter().enumerate() {
-            let path = dir.join(name);
+        let name = |k: u64| format!("{k:016x}.bin");
+        for (i, key) in [0xaau64, 0xbb, 0xcc].iter().enumerate() {
+            let path = dir.join(name(*key));
             std::fs::write(&path, vec![7u8; 100]).unwrap();
             let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
             f.set_modified(t0 + std::time::Duration::from_secs(60 * i as u64))
@@ -1077,21 +1047,21 @@ mod tests {
         std::fs::write(dir.join("stray.tmp"), b"x").unwrap();
 
         set_disk_budget(250);
-        set_spill_dir(Some(dir.clone())); // startup scan runs the GC
-        assert!(!dir.join("aa.bin").exists(), "oldest blob evicted first");
-        assert!(dir.join("bb.bin").exists());
-        assert!(dir.join("cc.bin").exists());
+        set_spill_dir(Some(dir.clone())); // startup index rebuild + GC
+        assert!(!dir.join(name(0xaa)).exists(), "oldest blob evicted first");
+        assert!(dir.join(name(0xbb)).exists());
+        assert!(dir.join(name(0xcc)).exists());
         assert!(dir.join("stray.tmp").exists());
 
         // Under budget: a GC pass evicts nothing.
         assert_eq!(gc_spill_store(), 0);
-        assert!(dir.join("bb.bin").exists());
+        assert!(dir.join(name(0xbb)).exists());
 
         // Tighten the budget: only the newest blob survives.
         set_disk_budget(150);
         assert_eq!(gc_spill_store(), 100);
-        assert!(!dir.join("bb.bin").exists());
-        assert!(dir.join("cc.bin").exists());
+        assert!(!dir.join(name(0xbb)).exists());
+        assert!(dir.join(name(0xcc)).exists());
 
         set_spill_dir(None);
         set_disk_budget(DEFAULT_DISK_BUDGET);

@@ -241,10 +241,16 @@ fn run_scheme(
         Mode::Checked { injected } => injected,
         Mode::Plain => None,
     };
-    // Pass through the cache whenever a fault plan is active: a cache hit
-    // skips `train`-site ticks and would shift every later fault ordinal,
-    // so injection runs must behave exactly as if the memo did not exist.
-    let memo_on = !scheme.is_empty() && memo::enabled() && !fault::plan_active();
+    // Pass through the cache whenever the fault plan targets the
+    // evaluation pipeline: a cache hit skips `train`-site ticks and would
+    // shift every later `eval`/`train` fault ordinal, so those injection
+    // runs must behave exactly as if the memo did not exist. Plans aimed
+    // at other sites (the spill store's `spill`/`index`, the orchestrator's
+    // `worker`, the result cache's `cache`) leave the memo on — its spill
+    // path is precisely what the store faults exercise.
+    let memo_on = !scheme.is_empty()
+        && memo::enabled()
+        && !fault::plan_schedules_any(&["eval", "train"]);
     let keys = if memo_on {
         memo::prefix_keys(base_model, train_set, eval_set, cfg, scheme, space)
     } else {

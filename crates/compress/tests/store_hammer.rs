@@ -1,0 +1,405 @@
+//! Multi-process hammer for the crash-safe blob store: concurrent
+//! writers (one of them killed mid-stream by an injected exit), readers,
+//! and a GC loop all share one store directory. The store must lose no
+//! blob that was not deliberately evicted, surface no checksum failure to
+//! any caller, and — through the memo layer — produce byte-identical
+//! search results whether the spill store is shared between processes or
+//! private.
+//!
+//! Child processes are this same test binary re-executed with
+//! `--exact <helper> --nocapture` plus a role in `AUTOMC_HAMMER_ROLE`;
+//! the helper tests return immediately when the role is unset.
+
+use automc_compress::store::{counters, set_grace_ms, BlobStore};
+use automc_compress::{
+    execute_scheme_checked, memo, EvalOutcome, ExecConfig, Metrics, MethodId, Scheme,
+    StrategySpace,
+};
+use automc_data::{DatasetSpec, ImageSet, SyntheticKind};
+use automc_models::train::{train, Auxiliary, TrainConfig};
+use automc_models::{resnet, serialize, ConvNet};
+use automc_tensor::fault::INJECTED_EXIT_CODE;
+use automc_tensor::rng_from_seed;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The blob store counters and the memo spill handle are process-global;
+/// serialize the tests in this file.
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+const ROLE_ENV: &str = "AUTOMC_HAMMER_ROLE";
+const DIR_ENV: &str = "AUTOMC_HAMMER_DIR";
+
+const WRITERS: usize = 2;
+const READERS: usize = 2;
+const KEYS: u64 = 48;
+
+fn hammer_key(i: u64) -> u64 {
+    0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i + 1) ^ 0x5bd1_e995
+}
+
+/// Deterministic payload for a key — every process derives the same
+/// bytes, so the store stays content-addressed and any reader can verify
+/// a blob it gets back without coordination.
+fn payload_for(key: u64) -> Vec<u8> {
+    let len = 200 + (key % 300) as usize;
+    let mut out = Vec::with_capacity(len);
+    let mut x = key | 1;
+    for _ in 0..len {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        out.push((x >> 33) as u8);
+    }
+    out
+}
+
+fn spawn_role(role: &str, helper: &str, dir: &Path, faults: Option<&str>) -> std::process::Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--exact")
+        .arg(helper)
+        .arg("--nocapture")
+        .env(ROLE_ENV, role)
+        .env(DIR_ENV, dir)
+        .env_remove("AUTOMC_FAULTS")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    if let Some(f) = faults {
+        cmd.env("AUTOMC_FAULTS", f);
+    }
+    cmd.spawn().expect("spawn hammer child")
+}
+
+/// Child role: publish every hammer key (twice, shuffled phase per
+/// writer), verifying that publish never panics and that the store
+/// accepts idempotent re-publishes.
+#[test]
+fn hammer_child_writer() {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("writer") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("hammer dir"));
+    let store = BlobStore::open(&dir).expect("child open");
+    for round in 0..2u64 {
+        for i in 0..KEYS {
+            // Different writers interleave differently but cover the
+            // same key set, racing same-key publishes on purpose.
+            let i = (i + round * 7) % KEYS;
+            let key = hammer_key(i);
+            store.publish(key, &payload_for(key));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Child role: read hammer keys in a loop. Every read must be either a
+/// clean miss or the exact expected payload — a checksum failure
+/// surfacing as garbage bytes fails the assert, and the store's own
+/// healing turns corruption into misses, never errors.
+#[test]
+fn hammer_child_reader() {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("reader") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("hammer dir"));
+    let store = BlobStore::open(&dir).expect("child open");
+    for round in 0..6u64 {
+        for i in 0..KEYS {
+            let key = hammer_key((i + round * 11) % KEYS);
+            if let Some(bytes) = store.get(key) {
+                assert_eq!(
+                    bytes,
+                    payload_for(key),
+                    "reader got a blob that does not match its key"
+                );
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+#[test]
+fn concurrent_writers_readers_and_gc_lose_nothing_and_surface_no_corruption() {
+    let _g = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let dir = std::env::temp_dir().join(format!("automc-store-hammer-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // A short grace window so the parent's GC loop actually churns blobs
+    // published seconds ago — readers then race real evictions.
+    set_grace_ms(50);
+    let store = BlobStore::open(&dir).expect("parent open");
+
+    let mut children = Vec::new();
+    for _ in 0..WRITERS {
+        children.push(("writer", spawn_role("writer", "hammer_child_writer", &dir, None)));
+    }
+    // One writer is killed mid-stream by an injected process exit at its
+    // 7th spill operation — the simulated `kill -9` the publish protocol
+    // must shrug off.
+    children.push((
+        "killed-writer",
+        spawn_role("writer", "hammer_child_writer", &dir, Some("exit@spill:7")),
+    ));
+    for _ in 0..READERS {
+        children.push(("reader", spawn_role("reader", "hammer_child_reader", &dir, None)));
+    }
+
+    // GC churn while the children hammer: a budget far below the working
+    // set forces constant eviction of out-of-grace blobs.
+    let budget = 20 * 256u64;
+    let mut gc_passes = 0u64;
+    let mut evicted_total = 0u64;
+    loop {
+        evicted_total += store.gc(budget);
+        gc_passes += 1;
+        std::thread::sleep(Duration::from_millis(20));
+        let all_done = children.iter_mut().all(|(_, c)| {
+            matches!(c.try_wait(), Ok(Some(_)))
+        });
+        if all_done {
+            break;
+        }
+        assert!(gc_passes < 3_000, "hammer children failed to finish");
+    }
+    for (role, child) in &mut children {
+        let status = child.wait().expect("wait hammer child");
+        if *role == "killed-writer" {
+            assert_eq!(
+                status.code(),
+                Some(INJECTED_EXIT_CODE),
+                "the faulted writer must die by the injected exit"
+            );
+        } else {
+            assert!(status.success(), "{role} child failed: {status:?}");
+        }
+    }
+    assert!(evicted_total > 0, "the GC loop must have actually churned blobs");
+
+    // The store a fleet of crashing clients leaves behind must open
+    // cleanly: every index record parses (no rebuild) and every surviving
+    // blob passes its checksum.
+    let healed_before = counters().healed;
+    let fresh = BlobStore::open(&dir).expect("post-hammer open");
+    assert_eq!(fresh.rebuild_count(), 0, "post-hammer index must parse cleanly");
+    let mut live = 0u64;
+    for i in 0..KEYS {
+        let key = hammer_key(i);
+        match fresh.get(key) {
+            Some(bytes) => {
+                live += 1;
+                assert_eq!(bytes, payload_for(key), "live blob must be intact");
+            }
+            None => {
+                // Evicted (or lost to the killed writer): a republish must
+                // restore it — the key is free, not poisoned.
+                assert!(fresh.publish(key, &payload_for(key)), "evicted key must republish");
+                assert_eq!(fresh.get(key), Some(payload_for(key)));
+            }
+        }
+    }
+    assert!(live > 0, "the grace window must have kept some recent blobs alive");
+    assert_eq!(
+        counters().healed,
+        healed_before,
+        "no blob may fail its checksum after the hammer"
+    );
+
+    set_grace_ms(automc_compress::store::DEFAULT_GRACE_MS);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Shared-vs-private search determinism (through the memo layer)
+// ---------------------------------------------------------------------------
+
+struct Fixture {
+    base: ConvNet,
+    base_metrics: Metrics,
+    train_set: ImageSet,
+    eval_set: ImageSet,
+    space: StrategySpace,
+}
+
+/// Same shape as the memo-determinism fixture: a small trained ResNet and
+/// a reduced strategy space, deterministic for every process that builds
+/// it.
+fn fixture() -> Fixture {
+    let mut rng = rng_from_seed(8101);
+    let (train_set, eval_set) = DatasetSpec {
+        train: 60,
+        test: 40,
+        noise: 0.25,
+        ..DatasetSpec::new(SyntheticKind::Cifar10Like)
+    }
+    .generate();
+    let mut base = resnet(20, 4, 10, (3, 8, 8), &mut rng);
+    train(
+        &mut base,
+        &train_set,
+        &TrainConfig { epochs: 1.0, ..Default::default() },
+        Auxiliary::None,
+        &mut rng,
+    );
+    let mut probe = base.clone_net();
+    let base_metrics = Metrics::measure(&mut probe, &eval_set);
+    let space = StrategySpace::for_methods(&[MethodId::Ns, MethodId::Sfp]);
+    Fixture { base, base_metrics, train_set, eval_set, space }
+}
+
+fn cfg() -> ExecConfig {
+    ExecConfig { pretrain_epochs: 1.0, eval_seed: 4242, ..Default::default() }
+}
+
+fn run(fx: &Fixture, scheme: &Scheme, exec: &ExecConfig) -> EvalOutcome {
+    execute_scheme_checked(
+        &fx.base,
+        &fx.base_metrics,
+        scheme,
+        &fx.space,
+        &fx.train_set,
+        &fx.eval_set,
+        exec,
+    )
+}
+
+/// Bit-exact digest of an evaluation (mirrors memo_determinism.rs).
+fn digest(result: &EvalOutcome) -> Vec<u64> {
+    let mut d = Vec::new();
+    match result {
+        EvalOutcome::Ok { model, outcome } => {
+            d.push(0);
+            d.push(outcome.metrics.acc.to_bits() as u64);
+            d.push(outcome.metrics.params as u64);
+            d.push(outcome.metrics.flops);
+            d.push(outcome.pr.to_bits() as u64);
+            d.push(outcome.fr.to_bits() as u64);
+            d.push(outcome.ar.to_bits() as u64);
+            d.push(outcome.cost.trained_images);
+            d.push(outcome.cost.eval_images);
+            for s in &outcome.steps {
+                d.push(s.strategy as u64);
+                d.push(s.ar_step.to_bits() as u64);
+                d.push(s.pr_step.to_bits() as u64);
+                d.push(s.after.acc.to_bits() as u64);
+                d.push(s.after.params as u64);
+                d.push(s.cost.trained_images);
+                d.push(s.cost.eval_images);
+            }
+            let bytes = serialize::model_to_bytes(model);
+            d.push(bytes.len() as u64);
+            let mut h = 0xcbf29ce484222325u64;
+            for &b in &bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            d.push(h);
+        }
+        EvalOutcome::Diverged { step, cost } => {
+            d.extend([1, *step as u64, cost.trained_images, cost.eval_images]);
+        }
+        EvalOutcome::Panicked { step, cost, .. } => {
+            d.extend([2, *step as u64, cost.trained_images, cost.eval_images]);
+        }
+        EvalOutcome::TimedOut { step, cost } => {
+            d.extend([3, *step as u64, cost.trained_images, cost.eval_images]);
+        }
+    }
+    d
+}
+
+fn schemes(space: &StrategySpace) -> (Scheme, Scheme) {
+    let of = |m: MethodId, nth: usize| {
+        space
+            .iter()
+            .filter(|(_, s)| s.method() == m)
+            .nth(nth)
+            .expect("strategy space too small for the fixture")
+            .0
+    };
+    let a = vec![of(MethodId::Ns, 0), of(MethodId::Sfp, 0), of(MethodId::Ns, 1)];
+    let b = vec![of(MethodId::Ns, 0), of(MethodId::Sfp, 0), of(MethodId::Sfp, 1)];
+    (a, b)
+}
+
+fn digest_lines(fx: &Fixture, exec: &ExecConfig) -> (String, String) {
+    let (scheme_a, scheme_b) = schemes(&fx.space);
+    let fmt = |d: &[u64]| {
+        d.iter().map(|v| format!("{v:x}")).collect::<Vec<_>>().join(" ")
+    };
+    (
+        fmt(&digest(&run(fx, &scheme_a, exec))),
+        fmt(&digest(&run(fx, &scheme_b, exec))),
+    )
+}
+
+/// Child role: evaluate both fixture schemes with the memo spilling to
+/// the *shared* store directory and print the digests; two of these run
+/// concurrently, racing publishes and reads of the same prefix blobs.
+#[test]
+fn hammer_child_eval() {
+    if std::env::var(ROLE_ENV).as_deref() != Ok("eval") {
+        return;
+    }
+    let dir = PathBuf::from(std::env::var(DIR_ENV).expect("hammer dir"));
+    memo::set_enabled_for_thread(Some(true));
+    memo::set_spill_dir(Some(dir));
+    let fx = fixture();
+    let (a, b) = digest_lines(&fx, &cfg());
+    println!("DIGEST-A {a}");
+    println!("DIGEST-B {b}");
+}
+
+#[test]
+fn search_results_are_byte_identical_with_shared_and_private_stores() {
+    let _g = GLOBAL_STATE.lock().unwrap_or_else(|p| p.into_inner());
+    let fx = fixture();
+    let exec = cfg();
+
+    // Reference: memoization off entirely.
+    memo::set_enabled_for_thread(Some(false));
+    let (ref_a, ref_b) = digest_lines(&fx, &exec);
+
+    // Private spill store: this process alone.
+    let private = std::env::temp_dir()
+        .join(format!("automc-hammer-private-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&private);
+    memo::set_enabled_for_thread(Some(true));
+    memo::set_spill_dir(Some(private.clone()));
+    memo::clear();
+    let (priv_a, priv_b) = digest_lines(&fx, &exec);
+    assert_eq!(ref_a, priv_a, "private-store run diverged from memo-off");
+    assert_eq!(ref_b, priv_b, "private-store run diverged from memo-off");
+    memo::set_spill_dir(None);
+    memo::set_enabled_for_thread(None);
+
+    // Shared spill store: two sibling processes evaluate the same schemes
+    // concurrently against one directory, racing same-key publishes and
+    // cross-process prefix hits. Both must print the reference digests.
+    let shared = std::env::temp_dir()
+        .join(format!("automc-hammer-shared-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&shared);
+    let children: Vec<_> = (0..2)
+        .map(|_| spawn_role("eval", "hammer_child_eval", &shared, None))
+        .collect();
+    for child in children {
+        let out = child.wait_with_output().expect("wait eval child");
+        assert!(out.status.success(), "eval child failed: {:?}", out.status);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // libtest's "test … ok" chatter can share a line with the first
+        // digest print, so match on a substring rather than a prefix.
+        let grab = |tag: &str| {
+            stdout
+                .lines()
+                .find_map(|l| l.split(tag).nth(1))
+                .unwrap_or_else(|| panic!("eval child printed no {tag}digest"))
+        };
+        let a = grab("DIGEST-A ");
+        let b = grab("DIGEST-B ");
+        assert_eq!(ref_a, a, "shared-store child diverged on scheme A");
+        assert_eq!(ref_b, b, "shared-store child diverged on scheme B");
+    }
+
+    let _ = std::fs::remove_dir_all(&private);
+    let _ = std::fs::remove_dir_all(&shared);
+}

@@ -38,15 +38,12 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// FNV-1a 64-bit hash — the journal and result-cache checksum.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// The durable-write primitives (FNV-1a checksum, atomic fsync'd writes,
+// bounded retry) now live in `automc_compress::store` — the crash-safe
+// blob store and this journal share one write discipline, and the store
+// sits lower in the crate graph. Re-exported here so every existing
+// `journal::fnv1a64` / `journal::write_atomic*` caller keeps working.
+pub use automc_compress::store::{fnv1a64, write_atomic, write_atomic_retry};
 
 /// Hash a run fingerprint from a version tag, the run-shaping words
 /// (problem instance + algorithm configuration), and the RNG's starting
@@ -82,74 +79,6 @@ pub fn from_hex(s: &str) -> Option<Vec<u8>> {
         .step_by(2)
         .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
         .collect()
-}
-
-/// Write `bytes` to `path` atomically and durably: write a sibling temp
-/// file, fsync it, rename it over the destination, then fsync the parent
-/// directory. Readers either see the old file or the new one, never a
-/// torn write — and once this returns, a crash (of this process *or* the
-/// machine) cannot make the rename itself vanish: without the directory
-/// fsync a resumed supervisor could observe a journal entry that a
-/// crashed worker "wrote" but whose directory update never reached disk.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    use std::io::Write;
-    let parent = match path.parent() {
-        Some(p) if !p.as_os_str().is_empty() => {
-            fs::create_dir_all(p)?;
-            Some(p)
-        }
-        _ => None,
-    };
-    let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
-    let tmp = std::path::PathBuf::from(tmp);
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    fs::rename(&tmp, path)?;
-    if let Some(parent) = parent {
-        fsync_dir(parent)?;
-    }
-    Ok(())
-}
-
-/// Flush a directory's metadata (the rename recorded in it) to disk.
-/// Directory fsync is a Unix concept; elsewhere it is a no-op.
-#[cfg(unix)]
-fn fsync_dir(dir: &Path) -> io::Result<()> {
-    fs::File::open(dir)?.sync_all()
-}
-
-#[cfg(not(unix))]
-fn fsync_dir(_dir: &Path) -> io::Result<()> {
-    Ok(())
-}
-
-/// [`write_atomic`] with bounded retry and backoff for transient I/O
-/// errors (NFS hiccups, momentary ENOSPC). Three attempts with 10 ms /
-/// 50 ms pauses; each failure is logged, and the last error is returned
-/// once the attempts are exhausted so the caller can apply its
-/// persistent-failure policy (disable journaling for the run).
-pub fn write_atomic_retry(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    const BACKOFF_MS: [u64; 2] = [10, 50];
-    let mut attempt = 0usize;
-    loop {
-        match write_atomic(path, bytes) {
-            Ok(()) => return Ok(()),
-            Err(e) if attempt < BACKOFF_MS.len() => {
-                eprintln!(
-                    "warning: write of {} failed ({e}); retrying in {} ms",
-                    path.display(),
-                    BACKOFF_MS[attempt]
-                );
-                std::thread::sleep(std::time::Duration::from_millis(BACKOFF_MS[attempt]));
-                attempt += 1;
-            }
-            Err(e) => return Err(e),
-        }
-    }
 }
 
 // ------------------------------------------------------------------------

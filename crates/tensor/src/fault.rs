@@ -54,6 +54,15 @@ pub enum FaultKind {
     /// parks forever, so only the supervisor's heartbeat deadline can
     /// reclaim it. Ticked at the `worker` site like [`FaultKind::Kill`].
     Hang,
+    /// Tear a blob-store publish: a truncated envelope lands on the final
+    /// path, as if a pre-protocol writer crashed mid-write (exercises the
+    /// store's quarantine-and-heal path). Honoured at the `spill` site by
+    /// publishes only; a read visiting the scheduled ordinal is a no-op.
+    Torn,
+    /// Delete a blob between a reader's lookup and its read, as if a
+    /// sibling process's GC won the race (exercises the clean-miss path).
+    /// Honoured at the `spill` site by reads of existing blobs only.
+    Evict,
 }
 
 impl FaultKind {
@@ -65,6 +74,8 @@ impl FaultKind {
             "exit" => Some(FaultKind::Exit),
             "kill" => Some(FaultKind::Kill),
             "hang" => Some(FaultKind::Hang),
+            "torn" => Some(FaultKind::Torn),
+            "evict" => Some(FaultKind::Evict),
             _ => None,
         }
     }
@@ -105,6 +116,11 @@ impl FaultPlan {
     /// True if no faults are scheduled.
     pub fn is_empty(&self) -> bool {
         self.scheduled.is_empty()
+    }
+
+    /// True if any fault is scheduled at `site` (any ordinal).
+    pub fn schedules_site(&self, site: &str) -> bool {
+        self.scheduled.keys().any(|(s, _)| s == site)
     }
 }
 
@@ -167,6 +183,24 @@ pub fn plan_active() -> bool {
             counters: HashMap::new(),
         });
         !state.plan.is_empty()
+    })
+}
+
+/// True when the current thread's fault plan schedules a fault at any of
+/// `sites`. The memo cache uses this instead of [`plan_active`]: it must
+/// become pass-through only when the plan targets the evaluation pipeline
+/// itself (`eval`/`train` ordinals shift on cache hits), not when the
+/// plan targets the store the memo spills through — disabling the memo
+/// under `torn@spill` would leave the very code the fault exercises
+/// unreachable.
+pub fn plan_schedules_any(sites: &[&str]) -> bool {
+    STATE.with(|s| {
+        let mut state = s.borrow_mut();
+        let state = state.get_or_insert_with(|| FaultState {
+            plan: env_plan(),
+            counters: HashMap::new(),
+        });
+        sites.iter().any(|site| state.plan.schedules_site(site))
     })
 }
 
@@ -327,6 +361,32 @@ mod tests {
         // The counter is process-global and other tests may tick
         // concurrently, so assert monotonicity, not an exact delta.
         assert!(eval_ordinal() >= before + 2);
+    }
+
+    #[test]
+    fn parse_store_fault_kinds_and_site_queries() {
+        let plan = FaultPlan::parse("torn@spill:1,evict@spill:4,corrupt@index:2").unwrap();
+        assert_eq!(
+            plan.scheduled.get(&("spill".into(), 1)),
+            Some(&FaultKind::Torn)
+        );
+        assert_eq!(
+            plan.scheduled.get(&("spill".into(), 4)),
+            Some(&FaultKind::Evict)
+        );
+        assert_eq!(
+            plan.scheduled.get(&("index".into(), 2)),
+            Some(&FaultKind::Corrupt)
+        );
+        assert!(plan.schedules_site("spill"));
+        assert!(plan.schedules_site("index"));
+        assert!(!plan.schedules_site("eval"));
+
+        install(plan);
+        assert!(plan_schedules_any(&["spill"]));
+        assert!(plan_schedules_any(&["eval", "index"]));
+        assert!(!plan_schedules_any(&["eval", "train"]));
+        clear();
     }
 
     #[test]

@@ -130,6 +130,57 @@ awk -F'[(%]' '/\[memo\] Evolution:/ { if ($2 + 0 < 30) exit 1 }' \
 echo "memo equivalence smoke passed"
 
 # ---------------------------------------------------------------------------
+# Blob-store smoke: the crash-safe spill store must absorb each of its
+# fault kinds without changing a single output byte. One fault per run,
+# all sharing one results/spill dir (single-threaded, so the fault
+# ordinals are deterministic):
+#   1. torn@spill:1     — first spill publish writes a truncated blob;
+#   2. warm, no faults  — the torn blob is read, quarantined, healed;
+#   3. evict@spill:1    — first spill read races a GC eviction (clean miss);
+#   4. corrupt@index:1  — first index append is corrupted on disk;
+#   5. warm, no faults  — the reader rebuilds the index from a scan.
+# Every run must match the memo-off reference byte for byte. The
+# multi-process hammer test ran under `cargo test` above; re-run it
+# explicitly here so a filtered test invocation cannot silently skip it.
+# ---------------------------------------------------------------------------
+echo "== blob-store smoke =="
+cargo test -q --offline -p automc-compress --test store_hammer
+bs_dir=$(mktemp -d)
+trap 'rm -rf "$ref_dir" "$res_dir" "$orch_dir" "$moff_dir" "$mon_dir" "$bs_dir"' EXIT
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$bs_dir" AUTOMC_FAULTS="torn@spill:1" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on \
+    >/tmp/automc-store-torn.out 2>/tmp/automc-store-torn.err
+grep -q 'injecting torn publish' /tmp/automc-store-torn.err
+diff /tmp/automc-memo-off.out /tmp/automc-store-torn.out
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$bs_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on \
+    >/tmp/automc-store-heal.out 2>/tmp/automc-store-heal.err
+grep -q 'quarantined corrupt blob\|removed corrupt blob' /tmp/automc-store-heal.err
+diff /tmp/automc-memo-off.out /tmp/automc-store-heal.out
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$bs_dir" AUTOMC_FAULTS="evict@spill:1" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on \
+    >/tmp/automc-store-evict.out 2>/tmp/automc-store-evict.err
+grep -q 'injecting evict race' /tmp/automc-store-evict.err
+diff /tmp/automc-memo-off.out /tmp/automc-store-evict.out
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$bs_dir" AUTOMC_FAULTS="corrupt@index:1" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on \
+    >/tmp/automc-store-badidx.out 2>/tmp/automc-store-badidx.err
+grep -q 'injecting index corruption' /tmp/automc-store-badidx.err
+diff /tmp/automc-memo-off.out /tmp/automc-store-badidx.out
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$bs_dir" \
+    cargo run --release --offline -p automc-bench --bin table2 -- \
+    --smoke --fresh --seed 9 --memo on \
+    >/tmp/automc-store-rebuild.out 2>/tmp/automc-store-rebuild.err
+grep -q 'index rebuilt from scan' \
+    /tmp/automc-store-badidx.err /tmp/automc-store-rebuild.err
+diff /tmp/automc-memo-off.out /tmp/automc-store-rebuild.out
+echo "blob-store smoke passed"
+
+# ---------------------------------------------------------------------------
 # Recovery-path lint: the modules that implement fault handling must not
 # unwrap in non-test code — a panic inside the recovery machinery defeats
 # it. Test modules (below the `mod tests` line) are exempt.
@@ -138,7 +189,7 @@ echo "== recovery-path lint =="
 lint_fail=0
 for f in crates/tensor/src/fault.rs crates/core/src/journal.rs \
          crates/bench/src/cache.rs crates/compress/src/memo.rs \
-         crates/bench/src/orchestrator.rs; do
+         crates/compress/src/store.rs crates/bench/src/orchestrator.rs; do
     nontest=$(sed '/^\(#\[cfg(test)\]\|mod tests\)/,$d' "$f")
     if echo "$nontest" | grep -n 'unwrap()' >/dev/null; then
         echo "lint: unwrap() in recovery path $f:"
