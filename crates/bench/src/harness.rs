@@ -533,7 +533,7 @@ impl FromJson for CorpusDto {
 /// store (the supervisor's own result dir; never written by workers); a
 /// fallback hit is copied into the primary store so later lookups are
 /// local.
-fn load_or_shared<T: ToJson + FromJson>(
+pub fn load_or_shared<T: ToJson + FromJson>(
     key: &str,
     fingerprint: &str,
     fresh: bool,
@@ -674,6 +674,21 @@ impl Algo {
     }
 }
 
+/// Options threaded through the public job-unit API ([`run_search_with`],
+/// [`table2_rows_with`]) — how an embedding caller (the serve daemon)
+/// observes and steers a run without changing its results.
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Round observer: streamed progress plus cooperative cancellation at
+    /// round boundaries (see `automc_core::progress`).
+    pub hook: automc_core::RoundHook,
+    /// Directory for the search journals; defaults to the result cache
+    /// dir. The serve daemon points this at a job-keyed directory
+    /// (`journal::job_dir`) so concurrent jobs never share a journal file
+    /// while a resubmitted job resumes its own.
+    pub journal_dir: Option<std::path::PathBuf>,
+}
+
 /// Run one AutoML algorithm on a prepared task (cached).
 #[allow(clippy::too_many_arguments)]
 pub fn run_search(
@@ -685,9 +700,36 @@ pub fn run_search(
     fresh: bool,
     cache_tag: &str,
 ) -> SearchHistory {
+    // The default hook never cancels, so the run always completes.
+    run_search_with(algo, task, space, embeddings, seed, fresh, cache_tag, &RunOpts::default())
+        .unwrap_or_default()
+}
+
+/// [`run_search`] with [`RunOpts`]: the hook observes every round and may
+/// cancel. Returns `None` when the run was cancelled — the partial
+/// history is *not* cached (a later run must not mistake it for a
+/// finished search) but the round journal stays on disk, so resubmitting
+/// the same run resumes at the cancelled round.
+#[allow(clippy::too_many_arguments)]
+pub fn run_search_with(
+    algo: Algo,
+    task: &PreparedTask,
+    space: &StrategySpace,
+    embeddings: Option<&[Vec<f32>]>,
+    seed: u64,
+    fresh: bool,
+    cache_tag: &str,
+    run_opts: &RunOpts,
+) -> Option<SearchHistory> {
     let key = format!("{cache_tag}_s{seed}_{}", algo.name().to_lowercase());
     let fp = run_fingerprint(&task.scale, seed);
-    cache::load_or(&key, &fp, fresh, || {
+    if !fresh {
+        if let Some(v) = cache::load::<SearchHistory>(&key, &fp) {
+            eprintln!("[cache] reusing {key}");
+            return Some(v);
+        }
+    }
+    let history = {
         eprintln!("[harness] running {} on {cache_tag}…", algo.name());
         // Per-algorithm RNG stream keyed by the enum discriminant: the old
         // `seed ^ name-length` derivation gave AutoMC and Random (both six
@@ -715,13 +757,17 @@ pub fn run_search(
         };
         let started = std::time::Instant::now();
         let memo_before = automc_compress::memo::stats();
-        // Journal each round next to the result cache so a killed run —
-        // of any of the four algorithms — resumes (bitwise identically)
-        // instead of restarting.
+        // Journal each round next to the result cache (or in the caller's
+        // job-keyed directory) so a killed run — of any of the four
+        // algorithms — resumes (bitwise identically) instead of
+        // restarting.
+        let journal_dir =
+            run_opts.journal_dir.clone().unwrap_or_else(cache::cache_dir);
         let opts = JournalOptions {
-            path: Some(cache::cache_dir().join(format!("{key}.journal"))),
+            path: Some(journal_dir.join(format!("{key}.journal"))),
             resume: resume_enabled(),
             abort_after_rounds: None,
+            hook: run_opts.hook.clone(),
         };
         let history = match algo {
             Algo::AutoMc => {
@@ -762,7 +808,15 @@ pub fn run_search(
             );
         }
         history
-    })
+    };
+    if run_opts.hook.cancelled() {
+        // Cancelled at a round boundary: the journal stays on disk for a
+        // resumed run; the partial history must not enter the cache.
+        eprintln!("[harness] {} on {cache_tag} cancelled; journal kept", algo.name());
+        return None;
+    }
+    cache::store(&key, &fp, &history);
+    Some(history)
 }
 
 // ------------------------------------------------------------------------
@@ -887,6 +941,25 @@ pub fn table2_task(
     seed: u64,
     fresh: bool,
 ) -> Vec<(usize, FinalRow)> {
+    table2_task_with(task, space, embeddings, i, seed, fresh, &RunOpts::default())
+}
+
+/// [`table2_task`] with [`RunOpts`]: the hook is polled before the task
+/// starts and observes each search round. A cancelled task returns no
+/// rows — the caller must check the hook and discard the partial grid.
+#[allow(clippy::too_many_arguments)]
+pub fn table2_task_with(
+    task: &PreparedTask,
+    space: &StrategySpace,
+    embeddings: &[Vec<f32>],
+    i: usize,
+    seed: u64,
+    fresh: bool,
+    run_opts: &RunOpts,
+) -> Vec<(usize, FinalRow)> {
+    if run_opts.hook.cancelled() {
+        return Vec::new();
+    }
     let n_method_tasks = MethodId::ALL.len() * 2;
     if i < n_method_tasks {
         let method = MethodId::ALL[i / 2];
@@ -895,7 +968,7 @@ pub fn table2_task(
         vec![(i % 2, method_baseline_row(task, method, ratio, seed, fresh))]
     } else {
         let algo = Algo::ALL[i - n_method_tasks];
-        let history = run_search(
+        let history = run_search_with(
             algo,
             task,
             space,
@@ -903,8 +976,13 @@ pub fn table2_task(
             seed,
             fresh,
             task.scale.name,
+            run_opts,
         );
-        algo_band_rows(algo, &history, task, space, seed)
+        match history {
+            Some(history) => algo_band_rows(algo, &history, task, space, seed),
+            // Cancelled mid-search: the round journal is kept, no rows.
+            None => Vec::new(),
+        }
     }
 }
 
@@ -921,13 +999,28 @@ pub fn table2_rows(
     seed: u64,
     fresh: bool,
 ) -> (Vec<FinalRow>, Vec<FinalRow>) {
+    // The default hook never cancels, so the grid always completes.
+    table2_rows_with(exp, seed, fresh, &RunOpts::default()).unwrap_or_default()
+}
+
+/// [`table2_rows`] with [`RunOpts`] — the job unit the serve daemon runs.
+/// The hook is polled before each grid task and observes every search
+/// round. Returns `None` when cancelled: the partial grid is *not* cached
+/// (per-task caches and round journals are, so a resubmitted job resumes
+/// past everything already finished).
+pub fn table2_rows_with(
+    exp: &ExperimentScale,
+    seed: u64,
+    fresh: bool,
+    run_opts: &RunOpts,
+) -> Option<(Vec<FinalRow>, Vec<FinalRow>)> {
     let key = format!("table2_{}_s{seed}", exp.name);
     let fp = run_fingerprint(exp, seed);
     let cached: Option<(Vec<FinalRow>, Vec<FinalRow>)> =
         if fresh { None } else { cache::load(&key, &fp) };
     if let Some(rows) = cached {
         eprintln!("[cache] reusing {key}");
-        return rows;
+        return Some(rows);
     }
     let task = prepare_task(exp, seed);
     eprintln!(
@@ -943,8 +1036,12 @@ pub fn table2_rows(
     let space_ref = &space;
     let emb_ref = &emb;
     let outs: Vec<Vec<(usize, FinalRow)>> = par::par_map(table2_task_count(), |i| {
-        table2_task(task_ref, space_ref, emb_ref, i, seed, fresh)
+        table2_task_with(task_ref, space_ref, emb_ref, i, seed, fresh, run_opts)
     });
+    if run_opts.hook.cancelled() {
+        eprintln!("[harness] table2 {} cancelled; partial grid discarded", exp.name);
+        return None;
+    }
 
     let mut band40: Vec<FinalRow> = vec![FinalRow::baseline(&task)];
     let mut band70: Vec<FinalRow> = Vec::new();
@@ -958,7 +1055,7 @@ pub fn table2_rows(
         }
     }
     cache::store(&key, &fp, &(band40.clone(), band70.clone()));
-    (band40, band70)
+    Some((band40, band70))
 }
 
 #[cfg(test)]

@@ -153,7 +153,19 @@ pub fn parse_args() -> BenchArgs {
             }
             "--heartbeat-ms" => {
                 if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
-                    parsed.heartbeat_ms = v;
+                    // Below the floor the hang deadline stays pinned at
+                    // 1.5 s and the flag would silently change nothing.
+                    if v < orchestrator::MIN_HEARTBEAT_MS {
+                        eprintln!(
+                            "warning: --heartbeat-ms {v} is below the effective \
+                             minimum; clamping to {} (the hung-worker deadline \
+                             has a 1.5 s floor)",
+                            orchestrator::MIN_HEARTBEAT_MS
+                        );
+                        parsed.heartbeat_ms = orchestrator::MIN_HEARTBEAT_MS;
+                    } else {
+                        parsed.heartbeat_ms = v;
+                    }
                     i += 1;
                 }
             }

@@ -76,6 +76,13 @@ use std::time::{Duration, Instant};
 /// logs can tell a simulated worker crash from a genuine failure.
 pub const WORKER_KILL_EXIT: i32 = 86;
 
+/// Smallest effective `--heartbeat-ms`. The hung-worker deadline is
+/// `max(8 × heartbeat_ms, 1500)`, so any interval below `1500 / 8`
+/// (⌈187.5⌉ = 188) leaves the deadline pinned at the 1.5 s floor — the
+/// flag would parse but change nothing. `parse_args` clamps to this with
+/// a warning instead of accepting a silently meaningless value.
+pub const MIN_HEARTBEAT_MS: u64 = 188;
+
 /// Base of the exponential restart backoff (doubles per retry).
 const BACKOFF_BASE_MS: u64 = 200;
 
@@ -386,11 +393,15 @@ struct Slot {
     last_progress: Instant,
 }
 
-/// Outcome of one failure: retry (with backoff) or give up.
+/// Outcome of one failure: retry (with backoff) or give up. `now` is the
+/// supervision tick's single timestamp — backoff deadlines are computed
+/// from it, not from a fresh `Instant::now()`, so every slot in a tick
+/// sees one consistent clock.
 fn fail_or_retry(
     slot: &mut Slot,
     why: &str,
     budget: u64,
+    now: Instant,
     jpath: &Path,
     jstate: &mut OrchJournal,
 ) {
@@ -411,7 +422,7 @@ fn fail_or_retry(
             "[orchestrator] worker {} {why}; retry {}/{budget} in {backoff} ms",
             slot.idx, slot.retries
         );
-        slot.backoff_until = Some(Instant::now() + Duration::from_millis(backoff));
+        slot.backoff_until = Some(now + Duration::from_millis(backoff));
     }
 }
 
@@ -508,6 +519,11 @@ fn supervise(
         .collect();
 
     loop {
+        // One timestamp per supervision tick: backoff comparisons, hang
+        // deadlines, and progress resets below all read the same clock,
+        // so a slow tick cannot make one slot's deadline drift relative
+        // to another's.
+        let now = Instant::now();
         let mut all_settled = true;
         for slot in &mut slots {
             if slot.done || slot.failed {
@@ -516,7 +532,7 @@ fn supervise(
             all_settled = false;
             match slot.child.take() {
                 None => {
-                    if slot.backoff_until.is_some_and(|t| Instant::now() < t) {
+                    if slot.backoff_until.is_some_and(|t| now < t) {
                         continue;
                     }
                     slot.backoff_until = None;
@@ -532,13 +548,14 @@ fn supervise(
                         Ok(child) => {
                             slot.spawns += 1;
                             slot.last_seq = 0;
-                            slot.last_progress = Instant::now();
+                            slot.last_progress = now;
                             slot.child = Some(child);
                         }
                         Err(e) => fail_or_retry(
                             slot,
                             &format!("failed to spawn ({e})"),
                             budget,
+                            now,
                             &jpath,
                             &mut jstate,
                         ),
@@ -559,6 +576,7 @@ fn supervise(
                             slot,
                             &format!("crashed ({code})"),
                             budget,
+                            now,
                             &jpath,
                             &mut jstate,
                         );
@@ -568,19 +586,19 @@ fn supervise(
                         {
                             if hb.seq != slot.last_seq {
                                 slot.last_seq = hb.seq;
-                                slot.last_progress = Instant::now();
+                                slot.last_progress = now;
                             }
                         }
-                        if slot.last_progress.elapsed() > deadline {
+                        if now.saturating_duration_since(slot.last_progress) > deadline {
                             eprintln!(
                                 "[orchestrator] worker {} hung (no heartbeat for \
                                  {} ms); killing it",
                                 slot.idx,
-                                slot.last_progress.elapsed().as_millis()
+                                now.saturating_duration_since(slot.last_progress).as_millis()
                             );
                             let _ = child.kill();
                             let _ = child.wait();
-                            fail_or_retry(slot, "hung", budget, &jpath, &mut jstate);
+                            fail_or_retry(slot, "hung", budget, now, &jpath, &mut jstate);
                         } else {
                             slot.child = Some(child);
                         }
@@ -592,6 +610,7 @@ fn supervise(
                             slot,
                             &format!("unwaitable ({e})"),
                             budget,
+                            now,
                             &jpath,
                             &mut jstate,
                         );

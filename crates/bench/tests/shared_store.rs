@@ -1,0 +1,57 @@
+//! Regression test for the shared-store write-through: a value pulled
+//! from `AUTOMC_SHARED_RESULTS_DIR` through `harness::load_or_shared`
+//! must be copied into the local result store, so the *next* lookup in
+//! this store hits locally instead of re-reading (or, if the shared dir
+//! disappears, recomputing) — that copy is what lets orchestrator
+//! workers and serve-daemon jobs start warm from a sibling's results.
+//!
+//! This binary holds exactly one test: it mutates process environment
+//! variables (`AUTOMC_RESULTS_DIR` / `AUTOMC_SHARED_RESULTS_DIR`), which
+//! would race against any test running concurrently in the same process.
+
+use automc_bench::{cache, harness};
+use std::path::PathBuf;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("automc-shared-store-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn shared_hits_are_written_through_to_the_local_store() {
+    let shared = fresh_dir("shared");
+    let local = fresh_dir("local");
+    let (key, fp) = ("shared_store_probe", "fp-v1");
+    let value: Vec<f32> = vec![1.5, -0.25, 3.0];
+
+    // Seed the shared store by writing while it is the local store.
+    std::env::set_var("AUTOMC_RESULTS_DIR", &shared);
+    std::env::remove_var("AUTOMC_SHARED_RESULTS_DIR");
+    cache::store(key, fp, &value);
+
+    // A miss in the local store must fall back to the shared dir and
+    // must NOT invoke the compute closure.
+    std::env::set_var("AUTOMC_RESULTS_DIR", &local);
+    std::env::set_var("AUTOMC_SHARED_RESULTS_DIR", &shared);
+    let via_shared: Vec<f32> = harness::load_or_shared(key, fp, false, || {
+        panic!("shared hit must not recompute")
+    });
+    assert_eq!(via_shared, value);
+
+    // Write-through: with the shared fallback gone, the local store must
+    // now answer by itself.
+    std::env::remove_var("AUTOMC_SHARED_RESULTS_DIR");
+    let local_copy: Option<Vec<f32>> = cache::load(key, fp);
+    assert_eq!(
+        local_copy.as_ref(),
+        Some(&value),
+        "a shared hit must be copied into the local store"
+    );
+
+    // And `fresh` must bypass both stores and recompute.
+    std::env::set_var("AUTOMC_SHARED_RESULTS_DIR", &shared);
+    let recomputed: Vec<f32> = harness::load_or_shared(key, fp, true, || vec![9.0]);
+    assert_eq!(recomputed, vec![9.0], "--fresh must force the compute path");
+}

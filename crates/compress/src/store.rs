@@ -250,6 +250,37 @@ pub struct StoreCounters {
     pub index_rebuilds: u64,
 }
 
+impl StoreCounters {
+    /// `self - earlier`, counter-wise. The counters are process-wide and
+    /// monotonic, so a snapshot taken at job start diffed against one at
+    /// a round boundary yields that job's *window* of store activity
+    /// (shared with any concurrently running jobs — the store is one
+    /// process-wide cache by design). Saturating, so a stale `earlier`
+    /// degrades to zeros rather than panicking.
+    pub fn since(&self, earlier: &StoreCounters) -> StoreCounters {
+        StoreCounters {
+            publishes: self.publishes.saturating_sub(earlier.publishes),
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            evicted_bytes: self.evicted_bytes.saturating_sub(earlier.evicted_bytes),
+            healed: self.healed.saturating_sub(earlier.healed),
+            raced: self.raced.saturating_sub(earlier.raced),
+            index_rebuilds: self.index_rebuilds.saturating_sub(earlier.index_rebuilds),
+        }
+    }
+
+    /// Hit rate over reads in percent (0 when nothing was read).
+    pub fn hit_rate_pct(&self) -> f64 {
+        let reads = self.hits + self.misses;
+        if reads == 0 {
+            0.0
+        } else {
+            100.0 * self.hits as f64 / reads as f64
+        }
+    }
+}
+
 /// Snapshot the process-wide [`StoreCounters`].
 pub fn counters() -> StoreCounters {
     StoreCounters {

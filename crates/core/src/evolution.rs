@@ -125,6 +125,7 @@ pub fn evolution_search_journaled(
     let mut round = 0u64;
     let mut population: Vec<Individual> = Vec::new();
     let mut journal_to = opts.path.as_deref();
+    let memo_start = automc_compress::memo::stats();
 
     if let Some(j) = loaded {
         match population_from_bytes(&j.state, ctx.space.len(), ctx.max_len) {
@@ -213,6 +214,9 @@ pub fn evolution_search_journaled(
             // Simulated crash for the resume-determinism tests.
             return history;
         }
+        if crate::progress::report_round(opts, &history, ctx, round, spent, &memo_start) {
+            return history;
+        }
     }
 
     while spent < ctx.budget.units && population.len() >= 2 {
@@ -294,6 +298,9 @@ pub fn evolution_search_journaled(
         );
         if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {
             // Simulated crash for the resume-determinism tests.
+            return history;
+        }
+        if crate::progress::report_round(opts, &history, ctx, round, spent, &memo_start) {
             return history;
         }
     }

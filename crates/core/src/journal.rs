@@ -385,13 +385,30 @@ pub struct JournalOptions {
     /// Test hook: return (as if the process died) once this many rounds
     /// have completed, leaving the journal on disk for a resumed run.
     pub abort_after_rounds: Option<usize>,
+    /// Progress/cancel observer invoked after every round's journal write
+    /// (see [`crate::progress`]). A cancelled search returns its partial
+    /// history and keeps its journal, exactly like `abort_after_rounds`.
+    pub hook: crate::progress::RoundHook,
 }
 
 impl JournalOptions {
     /// Journal to `path`, resuming if a valid journal is already there.
     pub fn resuming(path: PathBuf) -> Self {
-        JournalOptions { path: Some(path), resume: true, abort_after_rounds: None }
+        JournalOptions { path: Some(path), resume: true, ..Default::default() }
     }
+}
+
+/// Per-job journal directory: `base/jobs/<job_id>/`, created on first
+/// use. The serve daemon keys each job's journals by a spec-derived job
+/// id, so concurrent jobs never share a journal file while a resubmitted
+/// job (same spec → same id, even across a server crash) lands on the
+/// same directory and resumes for free.
+pub fn job_dir(base: &Path, job_id: &str) -> PathBuf {
+    let dir = base.join("jobs").join(job_id);
+    if let Err(e) = fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create job journal dir {}: {e}", dir.display());
+    }
+    dir
 }
 
 /// One extension node of the progressive search, with its compressed model

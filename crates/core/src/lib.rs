@@ -29,6 +29,7 @@ mod fmo;
 pub mod history;
 pub mod journal;
 pub mod pareto;
+pub mod progress;
 mod progressive;
 mod random;
 mod rl;
@@ -40,6 +41,7 @@ pub use evolution::{evolution_search, evolution_search_journaled, EvolutionConfi
 pub use fmo::Fmo;
 pub use history::{EvalRecord, EvalStatus, SearchHistory};
 pub use journal::JournalOptions;
+pub use progress::{RoundControl, RoundEvent, RoundHook, RoundObserver};
 pub use progressive::{progressive_search, progressive_search_journaled, AutoMcConfig};
 pub use random::{random_search, random_search_journaled};
 pub use rl::{rl_search, rl_search_journaled, RlConfig};

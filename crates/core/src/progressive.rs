@@ -249,6 +249,7 @@ pub fn progressive_search_journaled(
         }
     }
 
+    let memo_start = automc_compress::memo::stats();
     while spent < ctx.budget.units {
         // ---- Sample H_sub: Pareto-front nodes plus random extras. ------
         let extendable: Vec<usize> = (0..nodes.len())
@@ -412,6 +413,11 @@ pub fn progressive_search_journaled(
         if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {
             // Simulated crash for the resume-determinism tests: the
             // journal stays on disk, the partial history is returned.
+            return history;
+        }
+        if crate::progress::report_round(opts, &history, ctx, round, spent, &memo_start) {
+            // Cooperative cancel: like the crash hook above, the journal
+            // stays on disk so a resubmitted run resumes at this round.
             return history;
         }
     }

@@ -64,6 +64,7 @@ pub fn random_search_journaled(
         }
     }
 
+    let memo_start = automc_compress::memo::stats();
     let floor = (ctx.eval_set.len() as u64).max(1);
     while spent < ctx.budget.units {
         let len = rng.gen_range(1..=ctx.max_len);
@@ -105,6 +106,9 @@ pub fn random_search_journaled(
         );
         if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {
             // Simulated crash for the resume-determinism tests.
+            return history;
+        }
+        if crate::progress::report_round(opts, &history, ctx, round, spent, &memo_start) {
             return history;
         }
     }

@@ -269,6 +269,7 @@ pub fn rl_search_journaled(
         }
     }
 
+    let memo_start = automc_compress::memo::stats();
     while spent < ctx.budget.units {
         // ---- Sample an episode. ----------------------------------------
         ctrl.rnn.reset();
@@ -384,6 +385,9 @@ pub fn rl_search_journaled(
         );
         if opts.abort_after_rounds.is_some_and(|k| round >= k as u64) {
             // Simulated crash for the resume-determinism tests.
+            return history;
+        }
+        if crate::progress::report_round(opts, &history, ctx, round, spent, &memo_start) {
             return history;
         }
     }

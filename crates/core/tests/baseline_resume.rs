@@ -121,6 +121,7 @@ fn check_resume_identical(algo: Baseline, threads: usize) {
                 path: Some(path.clone()),
                 resume: false,
                 abort_after_rounds: Some(2),
+                ..Default::default()
             },
         );
         assert!(path.exists(), "the crashed run must leave a journal");
@@ -230,6 +231,7 @@ fn planned_faults_fire_exactly_once_across_resume() {
                 path: Some(path.clone()),
                 resume: false,
                 abort_after_rounds: Some(3),
+                ..Default::default()
             },
         );
         fault::clear();

@@ -94,6 +94,7 @@ fn check_resume_identical(threads: usize) {
                 path: Some(path.clone()),
                 resume: false,
                 abort_after_rounds: Some(1),
+                ..Default::default()
             },
         );
         assert!(path.exists(), "the crashed run must leave a journal");

@@ -70,6 +70,77 @@ impl Value {
         out
     }
 
+    /// Render on a single line with no insignificant whitespace. Suitable
+    /// for newline-delimited framing: the output never contains `\n`
+    /// (strings escape control characters).
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Strict wire form: [`to_string_compact`](Self::to_string_compact),
+    /// but any non-finite number anywhere in the document is an error
+    /// instead of being silently flattened to `null`. Use this for every
+    /// frame that crosses a protocol boundary — on-disk caches tolerate
+    /// the `null`↔NaN round-trip, a wire peer must not.
+    pub fn to_wire(&self) -> Result<String, String> {
+        self.check_finite("$")?;
+        Ok(self.to_string_compact())
+    }
+
+    fn check_finite(&self, at: &str) -> Result<(), String> {
+        match self {
+            Value::Num(n) if !n.is_finite() => {
+                Err(format!("non-finite number {n} at {at}"))
+            }
+            Value::Arr(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    item.check_finite(&format!("{at}[{i}]"))?;
+                }
+                Ok(())
+            }
+            Value::Obj(fields) => {
+                for (k, v) in fields {
+                    v.check_finite(&format!("{at}.{k}"))?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => write_num(out, *n),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -126,13 +197,41 @@ fn push_indent(out: &mut String, indent: usize) {
 
 fn write_num(out: &mut String, n: f64) {
     if !n.is_finite() {
-        // JSON has no Inf/NaN; null round-trips to NaN on read.
+        // JSON has no Inf/NaN; null round-trips to NaN on read. Wire
+        // serialisation rejects this case up front (`Value::to_wire`).
         out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 9.0e15 {
+    } else if n == n.trunc() && n.abs() < 9.0e15 && !(n == 0.0 && n.is_sign_negative()) {
+        // Integer fast path. `-0.0` is excluded: `-0.0 as i64` is `0`,
+        // which would silently drop the sign bit on a round trip.
         let _ = write!(out, "{}", n as i64);
     } else {
         let _ = write!(out, "{n}");
     }
+}
+
+// ------------------------------------------------------------------------
+// Strict parse mode
+// ------------------------------------------------------------------------
+
+std::thread_local! {
+    static STRICT_PARSE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `f` with strict number decoding on this thread: a `null` where a
+/// float is expected is a shape mismatch (`None`) instead of decoding as
+/// NaN. `Option<f32>`-style nullable fields still decode `null` as `None`
+/// — strictness only affects bare float positions. The previous mode is
+/// restored on exit (nesting is safe).
+pub fn with_strict<T>(f: impl FnOnce() -> T) -> T {
+    let prev = STRICT_PARSE.with(|s| s.replace(true));
+    let out = f();
+    STRICT_PARSE.with(|s| s.set(prev));
+    out
+}
+
+/// Whether [`with_strict`] is active on this thread.
+pub fn strict_parse() -> bool {
+    STRICT_PARSE.with(|s| s.get())
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -408,8 +507,10 @@ macro_rules! float_json {
             fn from_json(v: &Value) -> Option<Self> {
                 match v {
                     Value::Num(n) => Some(*n as $t),
-                    // Non-finite floats are serialised as null.
-                    Value::Null => Some(<$t>::NAN),
+                    // Non-finite floats are serialised as null by the
+                    // lenient cache writer; in strict (wire) mode that is
+                    // a shape mismatch instead.
+                    Value::Null if !strict_parse() => Some(<$t>::NAN),
                     _ => None,
                 }
             }
@@ -595,6 +696,81 @@ mod tests {
         assert_eq!(back, t);
         // Wrong arity is a mismatch.
         assert!(<(u32, u32) as FromJson>::from_json(&parse("[1,2,3]").unwrap()).is_none());
+    }
+
+    #[test]
+    fn compact_output_is_one_line_and_reparses() {
+        let v = obj(vec![
+            ("name", "line\nbreak \"q\"".to_json()),
+            ("nums", vec![1.5f64, -0.25, 3.0].to_json()),
+            ("nested", obj(vec![("empty", Value::Arr(vec![])), ("n", Value::Null)])),
+        ]);
+        let text = v.to_string_compact();
+        assert!(!text.contains('\n'), "compact frame contains a newline: {text}");
+        assert!(!text.contains(": "), "compact frame has pretty spacing: {text}");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact_for_edge_floats() {
+        // -0.0, subnormals, and max-precision values must survive the
+        // wire byte-for-byte (sign bit included).
+        let cases: Vec<f64> = vec![
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,          // smallest normal
+            f64::MIN_POSITIVE / 4.0,    // subnormal
+            5e-324,                     // smallest subnormal
+            -5e-324,
+            0.1,
+            1.0 / 3.0,
+            f64::MAX,
+            -f64::MAX,
+            9.0e15,                     // just past the integer fast path
+            9007199254740993.0,         // 2^53 + 1 (rounds to 2^53)
+        ];
+        for &x in &cases {
+            let text = x.to_json().to_wire().unwrap();
+            let back: f64 = FromJson::from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e} mangled to {back:e} via {text}");
+        }
+        // The f32 path too (wire frames carry f32 accuracies).
+        for &x in &[-0.0f32, f32::MIN_POSITIVE / 2.0, 1.0 / 3.0, f32::MAX] {
+            let text = x.to_json().to_wire().unwrap();
+            let back: f32 = FromJson::from_json(&parse(&text).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x:e} mangled to {back:e} via {text}");
+        }
+    }
+
+    #[test]
+    fn wire_rejects_non_finite_on_serialize() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(bad.to_json().to_wire().is_err(), "{bad} serialised");
+            // Nested positions are found and named.
+            let nested = obj(vec![("a", Value::Arr(vec![Value::Num(1.0), bad.to_json()]))]);
+            let err = nested.to_wire().unwrap_err();
+            assert!(err.contains("$.a[1]"), "path missing from error: {err}");
+        }
+        // The lenient pretty writer still flattens to null for the cache.
+        assert_eq!(f64::NAN.to_json().to_string_pretty().trim(), "null");
+    }
+
+    #[test]
+    fn strict_parse_rejects_null_where_number() {
+        // Lenient (cache) mode: null decodes as NaN.
+        let lenient: f32 = FromJson::from_json(&Value::Null).unwrap();
+        assert!(lenient.is_nan());
+        with_strict(|| {
+            assert!(<f32 as FromJson>::from_json(&Value::Null).is_none());
+            assert!(<f64 as FromJson>::from_json(&Value::Null).is_none());
+            // Nullable fields still decode: Option catches the null first.
+            assert_eq!(<Option<f32> as FromJson>::from_json(&Value::Null), Some(None));
+            // Real numbers are unaffected.
+            assert_eq!(<f64 as FromJson>::from_json(&Value::Num(2.5)), Some(2.5));
+        });
+        // Mode is restored after the closure.
+        let after: f64 = FromJson::from_json(&Value::Null).unwrap();
+        assert!(after.is_nan());
     }
 
     #[test]

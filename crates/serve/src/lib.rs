@@ -1,0 +1,40 @@
+//! # automc-serve
+//!
+//! Compression-as-a-service: a std-only TCP daemon that accepts AutoMC
+//! compression jobs over a newline-delimited `automc-json` protocol and
+//! runs them on the existing bench substrate.
+//!
+//! ```text
+//! client ── submit {scale, seed, kind} ──▶ daemon ──▶ bounded job queue
+//!        ◀─ submitted {job}            ──┘              │
+//! client ── watch {job}               ──▶ executor pool ┘ (N threads)
+//!        ◀─ round / state / done …    ── per-job fan-out
+//! ```
+//!
+//! Everything rides on guarantees the lower layers already provide:
+//!
+//! - **Determinism** — a job's result is bitwise-identical to the batch
+//!   binaries at any executor count, because the searches themselves are
+//!   (per-task RNG streams, canonical reductions).
+//! - **Resumability** — jobs are keyed by the same fingerprint that keys
+//!   the round journals, so resubmitting after a daemon crash resumes
+//!   mid-search for free; cancellation stops at a round boundary and
+//!   keeps the journal.
+//! - **Sharing** — all jobs share one result cache, one prefix-model
+//!   memo, and one crash-safe spill `BlobStore`, so a second client
+//!   asking a related question hits warm state.
+//!
+//! The wire protocol is *strict* JSON both ways: serialising a non-finite
+//! number is an error (never a silent `null`) and parsing `null` where a
+//! number belongs is a malformed frame (never a silent NaN). See
+//! [`protocol`].
+//!
+//! `DESIGN.md` §"Serve daemon" documents the frame grammar, the job
+//! lifecycle, and the failure matrix.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;

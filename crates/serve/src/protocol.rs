@@ -1,0 +1,371 @@
+//! The `automc-json` wire protocol: newline-delimited frames.
+//!
+//! Every frame is one JSON object on one line. Serialisation is *strict*
+//! ([`Value::to_wire`]): a non-finite number anywhere in a frame is a
+//! serialisation error, never a silent `null`. Parsing is strict too
+//! ([`automc_json::with_strict`]): a `null` where a number is expected is
+//! a malformed frame, never a NaN. The on-disk caches keep the lenient
+//! mode; the wire does not, because a NaN that round-trips into a
+//! streamed accuracy corrupts every downstream consumer silently.
+//!
+//! Client → server requests: `submit`, `watch`, `status`, `cancel`,
+//! `result`, `shutdown`. Server → client frames: `submitted`, `state`,
+//! `round`, `done`, `ok`, `error`. `done` is terminal for a job stream
+//! regardless of the final state (`done` / `cancelled` / `failed`).
+
+use automc_json::{field, obj, parse, with_strict, FromJson, ToJson, Value};
+use std::io::{BufRead, Write};
+
+/// Maximum accepted frame length in bytes — a defensive bound so a
+/// misbehaving peer cannot make the server buffer unboundedly.
+pub const MAX_FRAME_BYTES: usize = 4 << 20;
+
+/// What a job computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// The full Table 2 grid (12 method rows + 4 searches, both bands).
+    Table2,
+    /// A single search algorithm, streamed round by round.
+    Search(automc_bench::harness::Algo),
+}
+
+impl JobKind {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        use automc_bench::harness::Algo;
+        match self {
+            JobKind::Table2 => "table2",
+            JobKind::Search(Algo::AutoMc) => "automc",
+            JobKind::Search(Algo::Evolution) => "evolution",
+            JobKind::Search(Algo::Rl) => "rl",
+            JobKind::Search(Algo::Random) => "random",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<JobKind> {
+        use automc_bench::harness::Algo;
+        match s {
+            "table2" => Some(JobKind::Table2),
+            "automc" => Some(JobKind::Search(Algo::AutoMc)),
+            "evolution" => Some(JobKind::Search(Algo::Evolution)),
+            "rl" => Some(JobKind::Search(Algo::Rl)),
+            "random" => Some(JobKind::Search(Algo::Random)),
+            _ => None,
+        }
+    }
+}
+
+/// A compression-job request: experiment scale × seed × what to run.
+/// `label` distinguishes deliberate re-runs of the same spec (distinct
+/// label → distinct job id → an independent job that shares the memo
+/// store); `fresh` bypasses the result cache (journals still resume).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Scale name (`smoke` / `exp1` / `exp2`).
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// What to compute.
+    pub kind: JobKind,
+    /// Bypass the result cache.
+    pub fresh: bool,
+    /// Client label folded into the job id ("" by default).
+    pub label: String,
+}
+
+impl JobSpec {
+    /// The stable job id: a hex FNV-1a 64 over the same run fingerprint
+    /// that keys the result caches and round journals, plus the job kind,
+    /// freshness, and label. Identical specs — including across a server
+    /// restart — map to the same id, so a resubmitted job lands on the
+    /// same journals and resumes for free.
+    pub fn job_id(&self, scale: &automc_bench::scale::ExperimentScale) -> String {
+        let fp = automc_bench::harness::run_fingerprint(scale, self.seed);
+        let key = format!("{fp}|{}|f{}|{}", self.kind.name(), self.fresh as u8, self.label);
+        format!("{:016x}", automc_core::journal::fnv1a64(key.as_bytes()))
+    }
+}
+
+impl ToJson for JobSpec {
+    fn to_json(&self) -> Value {
+        obj(vec![
+            ("scale", self.scale.to_json()),
+            ("seed", self.seed.to_json()),
+            ("kind", self.kind.name().to_json()),
+            ("fresh", self.fresh.to_json()),
+            ("label", self.label.to_json()),
+        ])
+    }
+}
+
+impl FromJson for JobSpec {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(JobSpec {
+            scale: field(v, "scale")?,
+            seed: field(v, "seed")?,
+            kind: JobKind::parse(&field::<String>(v, "kind")?)?,
+            fresh: field(v, "fresh")?,
+            label: field(v, "label")?,
+        })
+    }
+}
+
+/// Job lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for an executor slot.
+    Queued,
+    /// An executor is running it.
+    Running,
+    /// Finished; result available.
+    Done,
+    /// Cancelled at a round boundary; journal kept, resumable.
+    Cancelled,
+    /// The job body failed; message in the terminal frame.
+    Failed,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "done" => Some(JobState::Done),
+            "cancelled" => Some(JobState::Cancelled),
+            "failed" => Some(JobState::Failed),
+            _ => None,
+        }
+    }
+
+    /// No further transitions happen from this state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobState::Done | JobState::Cancelled | JobState::Failed)
+    }
+}
+
+/// A client → server request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job; answered with a `submitted` frame.
+    Submit(JobSpec),
+    /// Stream a job's frames from the beginning until terminal.
+    Watch(String),
+    /// One `state` frame for the job.
+    Status(String),
+    /// Cooperatively cancel the job at its next round boundary.
+    Cancel(String),
+    /// The job's terminal frame if it is terminal, an error otherwise.
+    Result(String),
+    /// Stop the daemon once the reply is flushed.
+    Shutdown,
+}
+
+impl Request {
+    /// Decode a request frame (strict mode).
+    pub fn from_value(v: &Value) -> Result<Request, String> {
+        let ty: String = field(v, "type").ok_or("frame has no type")?;
+        match ty.as_str() {
+            "submit" => {
+                let spec = field::<Value>(v, "spec")
+                    .and_then(|s| JobSpec::from_json(&s))
+                    .ok_or("submit frame has no valid spec")?;
+                Ok(Request::Submit(spec))
+            }
+            "watch" => Ok(Request::Watch(field(v, "job").ok_or("watch needs job")?)),
+            "status" => Ok(Request::Status(field(v, "job").ok_or("status needs job")?)),
+            "cancel" => Ok(Request::Cancel(field(v, "job").ok_or("cancel needs job")?)),
+            "result" => Ok(Request::Result(field(v, "job").ok_or("result needs job")?)),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request type {other:?}")),
+        }
+    }
+
+    /// Encode as a frame value.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Request::Submit(spec) => obj(vec![
+                ("type", "submit".to_json()),
+                ("spec", spec.to_json()),
+            ]),
+            Request::Watch(job) => {
+                obj(vec![("type", "watch".to_json()), ("job", job.to_json())])
+            }
+            Request::Status(job) => {
+                obj(vec![("type", "status".to_json()), ("job", job.to_json())])
+            }
+            Request::Cancel(job) => {
+                obj(vec![("type", "cancel".to_json()), ("job", job.to_json())])
+            }
+            Request::Result(job) => {
+                obj(vec![("type", "result".to_json()), ("job", job.to_json())])
+            }
+            Request::Shutdown => obj(vec![("type", "shutdown".to_json())]),
+        }
+    }
+}
+
+/// Build an `error` frame.
+pub fn error_frame(message: &str) -> Value {
+    obj(vec![("type", "error".to_json()), ("message", message.to_json())])
+}
+
+/// Build an `ok` frame.
+pub fn ok_frame() -> Value {
+    obj(vec![("type", "ok".to_json())])
+}
+
+/// Write one frame as a strict single-line JSON document plus `\n`.
+/// A frame that fails strict serialisation (a non-finite number slipped
+/// in) is replaced by an `error` frame naming the offending path — the
+/// peer sees an explicit error, never a silent NaN.
+pub fn write_frame(w: &mut impl Write, frame: &Value) -> std::io::Result<()> {
+    let line = match frame.to_wire() {
+        Ok(line) => line,
+        Err(why) => {
+            let msg = format!("unserialisable frame: {why}");
+            match error_frame(&msg).to_wire() {
+                Ok(line) => line,
+                // The fallback frame contains no numbers; this arm is
+                // unreachable, but fail closed rather than panic.
+                Err(_) => return Err(std::io::Error::other(msg)),
+            }
+        }
+    };
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Read one newline-delimited frame; `Ok(None)` on clean EOF. Parsing
+/// runs in strict mode, so `null`-where-number is an error here even
+/// though the cache reader tolerates it.
+pub fn read_frame(r: &mut impl BufRead) -> std::io::Result<Option<Value>> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if n > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other("frame exceeds MAX_FRAME_BYTES"));
+    }
+    let text = line.trim_end_matches(['\n', '\r']);
+    if text.is_empty() {
+        // Tolerate blank keep-alive lines between frames.
+        return read_frame(r);
+    }
+    with_strict(|| parse(text))
+        .map(Some)
+        .map_err(|e| std::io::Error::other(format!("malformed frame: {e}")))
+}
+
+/// Decode a typed payload out of a frame in strict mode (the parse above
+/// already ran strict, but `FromJson` float decoding is mode-sensitive
+/// too — `null` must not become NaN at this layer either).
+pub fn decode_strict<T: FromJson>(v: &Value) -> Option<T> {
+    with_strict(|| T::from_json(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Submit(JobSpec {
+                scale: "smoke".into(),
+                seed: 7,
+                kind: JobKind::Table2,
+                fresh: true,
+                label: "a".into(),
+            }),
+            Request::Watch("00ff".into()),
+            Request::Status("00ff".into()),
+            Request::Cancel("00ff".into()),
+            Request::Result("00ff".into()),
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let v = req.to_value();
+            let line = v.to_wire().expect("requests contain no non-finite numbers");
+            let back = Request::from_value(&parse(&line).expect("reparse")).expect("decode");
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn kinds_and_states_round_trip() {
+        use automc_bench::harness::Algo;
+        for kind in [
+            JobKind::Table2,
+            JobKind::Search(Algo::AutoMc),
+            JobKind::Search(Algo::Evolution),
+            JobKind::Search(Algo::Rl),
+            JobKind::Search(Algo::Random),
+        ] {
+            assert_eq!(JobKind::parse(kind.name()), Some(kind));
+        }
+        for state in [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done,
+            JobState::Cancelled,
+            JobState::Failed,
+        ] {
+            assert_eq!(JobState::parse(state.name()), Some(state));
+        }
+    }
+
+    #[test]
+    fn job_id_is_stable_and_label_sensitive() {
+        let scale = automc_bench::scale::smoke();
+        let spec = |label: &str| JobSpec {
+            scale: "smoke".into(),
+            seed: 7,
+            kind: JobKind::Table2,
+            fresh: false,
+            label: label.into(),
+        };
+        let a1 = spec("a").job_id(&scale);
+        let a2 = spec("a").job_id(&scale);
+        let b = spec("b").job_id(&scale);
+        assert_eq!(a1, a2, "same spec must map to the same id across submits");
+        assert_ne!(a1, b, "labels must separate job identities");
+        assert_eq!(a1.len(), 16);
+    }
+
+    #[test]
+    fn frame_io_round_trips_and_rejects_null_numbers() {
+        let mut buf: Vec<u8> = Vec::new();
+        let frame = obj(vec![("type", "state".to_json()), ("seed", 7u64.to_json())]);
+        write_frame(&mut buf, &frame).expect("write");
+        let mut r = std::io::BufReader::new(&buf[..]);
+        let back = read_frame(&mut r).expect("read").expect("one frame");
+        assert_eq!(back, frame);
+        assert!(read_frame(&mut r).expect("eof").is_none());
+
+        // A NaN in a frame becomes an explicit error frame on the wire.
+        let mut buf: Vec<u8> = Vec::new();
+        let bad = obj(vec![("acc", f64::NAN.to_json())]);
+        write_frame(&mut buf, &bad).expect("write substitutes an error frame");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("\"error\""), "got: {text}");
+
+        // Strict decode refuses null-as-number payloads.
+        let v = parse(r#"{"acc": null}"#).expect("parse");
+        assert!(decode_strict::<f32>(v.get("acc").expect("field")).is_none());
+    }
+}

@@ -181,6 +181,44 @@ diff /tmp/automc-memo-off.out /tmp/automc-store-rebuild.out
 echo "blob-store smoke passed"
 
 # ---------------------------------------------------------------------------
+# Serve daemon smoke: start the compression-as-a-service daemon, run the
+# same seed-7 smoke Table 2 job through it, and require the streamed
+# result to be byte-identical to the batch binary's tables (the
+# kill/resume reference above, minus the batch-only banner/footer lines).
+# A second client attaching to the same job must read identical bytes, a
+# submit+cancel of another job must leave the daemon serving, and a
+# shutdown request must end the process cleanly.
+# ---------------------------------------------------------------------------
+echo "== serve daemon smoke =="
+srv_dir=$(mktemp -d)
+trap 'rm -rf "$ref_dir" "$res_dir" "$orch_dir" "$moff_dir" "$mon_dir" "$bs_dir" "$srv_dir"' EXIT
+AUTOMC_THREADS=1 AUTOMC_RESULTS_DIR="$srv_dir" \
+    cargo run --release --offline -p automc-serve -- \
+    serve --jobs 1 --addr-file "$srv_dir/addr" >/tmp/automc-serve.log 2>&1 &
+srv_pid=$!
+for _ in $(seq 100); do [ -s "$srv_dir/addr" ] && break; sleep 0.1; done
+[ -s "$srv_dir/addr" ] || { echo "serve smoke: daemon never bound"; exit 1; }
+srv_addr=$(cat "$srv_dir/addr")
+cargo run --release --offline -p automc-serve -- \
+    run --addr "$srv_addr" --scale smoke --seed 7 \
+    >/tmp/automc-serve-run1.out 2>/dev/null
+grep -v '^Table 2 smoke run\|^smoke: \|^SMOKE OK' /tmp/automc-resume-ref.out \
+    >/tmp/automc-serve-ref.out
+diff /tmp/automc-serve-ref.out /tmp/automc-serve-run1.out
+cargo run --release --offline -p automc-serve -- \
+    run --addr "$srv_addr" --scale smoke --seed 7 \
+    >/tmp/automc-serve-run2.out 2>/dev/null
+diff /tmp/automc-serve-run1.out /tmp/automc-serve-run2.out
+srv_job=$(cargo run --release --offline -p automc-serve -- \
+    submit --addr "$srv_addr" --scale smoke --seed 8 --kind automc --fresh \
+    2>/dev/null)
+cargo run --release --offline -p automc-serve -- \
+    cancel --addr "$srv_addr" --job "$srv_job" 2>/dev/null
+cargo run --release --offline -p automc-serve -- shutdown --addr "$srv_addr"
+wait "$srv_pid"
+echo "serve daemon smoke passed"
+
+# ---------------------------------------------------------------------------
 # Recovery-path lint: the modules that implement fault handling must not
 # unwrap in non-test code — a panic inside the recovery machinery defeats
 # it. Test modules (below the `mod tests` line) are exempt.
@@ -189,7 +227,10 @@ echo "== recovery-path lint =="
 lint_fail=0
 for f in crates/tensor/src/fault.rs crates/core/src/journal.rs \
          crates/bench/src/cache.rs crates/compress/src/memo.rs \
-         crates/compress/src/store.rs crates/bench/src/orchestrator.rs; do
+         crates/compress/src/store.rs crates/bench/src/orchestrator.rs \
+         crates/core/src/progress.rs crates/serve/src/protocol.rs \
+         crates/serve/src/server.rs crates/serve/src/client.rs \
+         crates/serve/src/bin/automc-serve.rs; do
     nontest=$(sed '/^\(#\[cfg(test)\]\|mod tests\)/,$d' "$f")
     if echo "$nontest" | grep -n 'unwrap()' >/dev/null; then
         echo "lint: unwrap() in recovery path $f:"
